@@ -1,0 +1,75 @@
+"""Reproduction ablations for the documented deviations (DESIGN.md §5).
+
+* ``bench_ablation_olr`` — OLR basis (graph-workload vs path-workload) and
+  tightness. Quantifies how much the ambiguous OLR sentence matters: the
+  graph-workload reading keeps schedules feasible (negative lateness);
+  the path-workload reading under CCR=1 over-constrains them. Tighter OLR
+  always costs margin under either reading.
+* ``bench_ablation_bus`` — contended shared bus vs contention-free network:
+  the bus can only be worse, and the gap is the price of serialization.
+* ``bench_ablation_release`` — greedy packing vs time-triggered dispatch of
+  the distributed release times: greedy dominates on the lateness measure
+  (waiting for a window can only delay completions), which is why it is
+  the default run-time model in this reproduction.
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes("2,4,8,16")
+
+
+def _run_all(benchmark, name):
+    configs = build_experiment(name, n_graphs=GRAPHS, system_sizes=SIZES)
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    print()
+    for result in results:
+        print(lateness_report(result))
+        print()
+    return configs, results
+
+
+def bench_ablation_olr(benchmark):
+    configs, results = _run_all(benchmark, "ablation-olr")
+    by_key = {}
+    for config, result in zip(configs, results):
+        means = mean_max_lateness(result.records)
+        basis = config.graph_config.olr_basis
+        olr = config.graph_config.overall_laxity_ratio
+        by_key[(basis, olr)] = means[("MDET", "ADAPT", max(SIZES))]
+
+    for basis in ("graph-workload", "path-workload"):
+        # Looser deadlines -> more margin, under either reading.
+        assert by_key[(basis, 2.0)] <= by_key[(basis, 1.1)] + 1e-6, by_key
+    # The literal (graph-workload) reading keeps the paper's regime:
+    # schedulable with margin at the default OLR 1.5.
+    assert by_key[("graph-workload", 1.5)] < 0, by_key
+
+
+def bench_ablation_bus(benchmark):
+    configs, results = _run_all(benchmark, "ablation-bus")
+    by_topology = {}
+    for config, result in zip(configs, results):
+        means = mean_max_lateness(result.records)
+        by_topology[config.topology] = means[("MDET", "ADAPT", max(SIZES))]
+    # Removing contention can only help.
+    assert by_topology["ideal"] <= by_topology["bus"] + 1e-6, by_topology
+
+
+def bench_ablation_release(benchmark):
+    configs, results = _run_all(benchmark, "ablation-release")
+    by_mode = {}
+    for config, result in zip(configs, results):
+        means = mean_max_lateness(result.records)
+        by_mode[config.respect_release_times] = means[
+            ("MDET", "ADAPT", max(SIZES))
+        ]
+    # Greedy packing dominates time-triggered dispatch on lateness.
+    assert by_mode[False] <= by_mode[True] + 1e-6, by_mode

@@ -1,0 +1,66 @@
+"""Algorithm cost: the Section 8 tractability claim.
+
+The paper argues AST inherits BST's polynomial complexity (O(n³) for a
+task of n subtasks). These micro-benchmarks time deadline distribution and
+list scheduling on growing graphs so regressions in the hot paths surface,
+and check super-cubic blow-ups are absent at repository scale.
+
+Unlike the figure benchmarks these use pytest-benchmark's normal
+multi-round calibration: single runs are milliseconds.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ast, bst
+from repro.graph import RandomGraphConfig, generate_task_graph
+from repro.machine import System
+from repro.sched import ListScheduler
+
+
+def make_graph(n: int, seed: int = 0):
+    config = RandomGraphConfig(
+        n_subtasks_range=(n, n),
+        depth_range=(max(3, n // 6), max(4, n // 5)),
+    )
+    return generate_task_graph(config, rng=random.Random(seed))
+
+
+@pytest.mark.parametrize("n", [25, 50, 100, 200])
+def bench_distribution_scaling(benchmark, n):
+    graph = make_graph(n)
+    distributor = ast("ADAPT")
+    benchmark(distributor.distribute, graph, n_processors=8)
+
+
+@pytest.mark.parametrize("comm", ["CCNE", "CCAA"])
+def bench_distribution_by_estimator(benchmark, comm):
+    graph = make_graph(50)
+    distributor = bst("PURE", comm)
+    benchmark(distributor.distribute, graph, n_processors=8)
+
+
+@pytest.mark.parametrize("n_processors", [2, 8, 16])
+def bench_scheduler_scaling(benchmark, n_processors):
+    graph = make_graph(50)
+    assignment = bst("PURE", "CCNE").distribute(graph)
+    system = System(n_processors)
+    scheduler = ListScheduler(system)
+    benchmark(scheduler.schedule, graph, assignment)
+
+
+def bench_generator(benchmark):
+    benchmark(make_graph, 50, 1)
+
+
+def bench_full_trial(benchmark):
+    """One end-to-end trial, the unit the experiment harness repeats."""
+    graph = make_graph(50)
+    system = System(8)
+
+    def trial():
+        assignment = ast("ADAPT").distribute(graph, n_processors=8)
+        return ListScheduler(system).schedule(graph, assignment)
+
+    benchmark(trial)

@@ -1,0 +1,36 @@
+"""Section 8 extension: communication-to-computation ratio sweep.
+
+The paper reports (full data in TR-281) that AST scales well across CCR
+values. Regenerates a PURE vs ADAPT panel per CCR ∈ {0.1, 0.5, 1, 2, 4}
+and asserts that ADAPT stays at least competitive with PURE at the
+smallest system size for every ratio.
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes("2,4,8,16")
+
+#: Allowed relative slack for "at least competitive".
+TOLERANCE = 0.08
+
+
+def bench_ext_ccr(benchmark):
+    configs = build_experiment("ext-ccr", n_graphs=GRAPHS, system_sizes=SIZES)
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    small = min(SIZES)
+    print()
+    for config, result in zip(configs, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        pure = means[("MDET", "PURE", small)]
+        adapt = means[("MDET", "ADAPT", small)]
+        assert adapt <= pure + TOLERANCE * abs(pure), (config.name, pure, adapt)

@@ -1,0 +1,45 @@
+"""Section 8 extension: mean execution time sweep.
+
+AST's metrics are ratios over the workload's own scale, so the lateness
+*pattern* should be invariant up to scale when MET changes. Regenerates a
+PURE vs ADAPT panel per MET ∈ {5, 20, 80} and asserts (a) ADAPT stays
+competitive at the smallest size and (b) lateness scales roughly linearly
+with MET (the workload, deadlines and messages all scale together).
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes("2,4,8,16")
+
+TOLERANCE = 0.08
+
+
+def bench_ext_met(benchmark):
+    configs = build_experiment("ext-met", n_graphs=GRAPHS, system_sizes=SIZES)
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    small = min(SIZES)
+    print()
+    by_met = {}
+    for config, result in zip(configs, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        pure = means[("MDET", "PURE", small)]
+        adapt = means[("MDET", "ADAPT", small)]
+        assert adapt <= pure + TOLERANCE * abs(pure), (config.name, pure, adapt)
+        met = config.graph_config.mean_execution_time
+        by_met[met] = means[("MDET", "ADAPT", max(SIZES))]
+
+    # Scale invariance: lateness per unit of MET is roughly constant.
+    normalized = [value / met for met, value in sorted(by_met.items())]
+    assert max(normalized) - min(normalized) <= 0.35 * abs(
+        sum(normalized) / len(normalized)
+    ), normalized

@@ -1,0 +1,40 @@
+"""Section 8 extension: task-graph parallelism sweep.
+
+Regenerates PURE vs ADAPT panels for wide (shallow), paper-shaped and deep
+(chain-like) graphs. The paper's story: ADAPT's advantage lives exactly
+where graph parallelism exceeds the platform — so the *wide* preset should
+show the largest small-system gain, and the *deep* preset the smallest.
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes("2,4,8,16")
+
+
+def bench_ext_parallelism(benchmark):
+    configs = build_experiment(
+        "ext-parallelism", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    small = min(SIZES)
+    gains = {}
+    print()
+    for config, result in zip(configs, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        pure = means[("MDET", "PURE", small)]
+        adapt = means[("MDET", "ADAPT", small)]
+        shape = config.name.rsplit("-", 1)[-1]
+        gains[shape] = pure - adapt  # positive = ADAPT better
+
+    # The wide preset benefits at least as much as the deep preset.
+    assert gains["wide"] >= gains["deep"] - 1e-6, gains

@@ -1,0 +1,64 @@
+"""Section 8 extensions: scheduling policies and locality strictness.
+
+Two sweeps in one module (they share scale):
+
+* ``bench_ext_policy`` — PURE vs ADAPT under EDF, LLF, ERF and LPT
+  ready-list policies. The deadline-aware policies (EDF, LLF) must beat the
+  deadline-oblivious ones (LPT) on the deadline-lateness measure — that is
+  what makes distributed deadlines useful to a scheduler at all.
+* ``bench_ext_locality`` — PURE vs ADAPT as the strictly-pinned fraction
+  grows from 0 % (the paper's relaxed setting) to 100 % (the BST setting).
+  Pins constrain the scheduler, so lateness must degrade monotonically-ish
+  from the relaxed end to the strict end.
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes("2,4,8,16")
+
+
+def bench_ext_policy(benchmark):
+    configs = build_experiment("ext-policy", n_graphs=GRAPHS, system_sizes=SIZES)
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    large = max(SIZES)
+    by_policy = {}
+    print()
+    for config, result in zip(configs, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        by_policy[config.policy] = means[("MDET", "ADAPT", large)]
+
+    assert by_policy["EDF"] <= by_policy["LPT"] + 1e-6, by_policy
+    assert by_policy["LLF"] <= by_policy["LPT"] + 1e-6, by_policy
+
+
+def bench_ext_locality(benchmark):
+    configs = build_experiment(
+        "ext-locality", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    large = max(SIZES)
+    by_fraction = {}
+    print()
+    for config, result in zip(configs, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        fraction = int(config.name.rsplit("-", 1)[-1]) / 100.0
+        by_fraction[fraction] = means[("MDET", "ADAPT", large)]
+
+    # Freedom helps: fully relaxed placement beats fully strict placement.
+    assert by_fraction[0.0] <= by_fraction[1.0] + 1e-6, by_fraction

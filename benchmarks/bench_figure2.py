@@ -1,0 +1,49 @@
+"""Figure 2: BST metrics (PURE, NORM) under CCNE/CCAA estimation.
+
+Regenerates the paper's three panels (LDET/MDET/HDET): mean maximum task
+lateness vs system size for the four metric x estimation combinations, and
+asserts the figure's qualitative claims:
+
+1. lateness improves (falls) with system size and saturates;
+2. CCNE outperforms CCAA for every metric and scenario;
+3. PURE is the overall best metric — decisively so under HDET, where
+   NORM's proportional slack starves the many short subtasks.
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs()
+SIZES = system_sizes()
+
+
+def bench_figure2(benchmark):
+    (config,) = build_experiment(
+        "figure2", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+    result = run_once(benchmark, run_experiment, config)
+    print()
+    print(lateness_report(result))
+
+    means = mean_max_lateness(result.records)
+    small, large = min(SIZES), max(SIZES)
+
+    for scenario in config.scenarios:
+        for method in ("PURE/CCNE", "PURE/CCAA", "NORM/CCNE", "NORM/CCAA"):
+            # Claim 1: more processors never hurt, and help at the start.
+            assert means[(scenario, method, large)] <= (
+                means[(scenario, method, small)]
+            ), (scenario, method)
+        for metric in ("PURE", "NORM"):
+            # Claim 2: CCNE dominates CCAA at every size.
+            for size in SIZES:
+                assert means[(scenario, f"{metric}/CCNE", size)] <= (
+                    means[(scenario, f"{metric}/CCAA", size)]
+                ), (scenario, metric, size)
+
+    # Claim 3: under HDET, NORM collapses relative to PURE at saturation.
+    assert means[("HDET", "PURE/CCNE", large)] < (
+        means[("HDET", "NORM/CCNE", large)]
+    )

@@ -1,0 +1,46 @@
+"""Figure 3: THRES surplus factor Δ ∈ {1, 2, 4}.
+
+Regenerates the surplus-factor panels and asserts the paper's claim that a
+large surplus is detrimental once parallelism is exploitable: at the
+largest system size Δ = 4 is the worst choice, while at the smallest size
+the larger surpluses are competitive (the paper's "a best value of Δ is
+nigh impossible to find" trade-off).
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs()
+SIZES = system_sizes()
+
+
+def bench_figure3(benchmark):
+    (config,) = build_experiment(
+        "figure3", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+    result = run_once(benchmark, run_experiment, config)
+    print()
+    print(lateness_report(result))
+
+    means = mean_max_lateness(result.records)
+    large = max(SIZES)
+    small = min(SIZES)
+
+    for scenario in config.scenarios:
+        # Too much surplus hurts at saturation: d=4 worse than d=1.
+        assert means[(scenario, "THRES(d=1)", large)] <= (
+            means[(scenario, "THRES(d=4)", large)]
+        ), scenario
+        # The trade-off: the d=4 penalty is smaller (or negative) on the
+        # smallest system than at saturation.
+        gap_small = (
+            means[(scenario, "THRES(d=4)", small)]
+            - means[(scenario, "THRES(d=1)", small)]
+        )
+        gap_large = (
+            means[(scenario, "THRES(d=4)", large)]
+            - means[(scenario, "THRES(d=1)", large)]
+        )
+        assert gap_small <= gap_large + 1e-9, scenario

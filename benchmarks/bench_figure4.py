@@ -1,0 +1,39 @@
+"""Figure 4: THRES execution-time threshold ∈ {0.75, 1.0, 1.25} × MET.
+
+Regenerates the threshold panels and asserts the paper's claim that the
+threshold choice is *not critical*: varying it ±25 % around MET moves the
+mean maximum lateness only mildly (the paper reports within ±5 %; we allow
+a loose band since the substrate differs).
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs()
+SIZES = system_sizes()
+
+#: Generous bound on the relative spread across thresholds (paper: ~5 %).
+MAX_RELATIVE_SPREAD = 0.25
+
+
+def bench_figure4(benchmark):
+    (config,) = build_experiment(
+        "figure4", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+    result = run_once(benchmark, run_experiment, config)
+    print()
+    print(lateness_report(result))
+
+    means = mean_max_lateness(result.records)
+    labels = [m.label for m in config.methods]
+
+    for scenario in config.scenarios:
+        for size in SIZES:
+            values = [means[(scenario, label, size)] for label in labels]
+            center = sum(values) / len(values)
+            spread = max(values) - min(values)
+            assert spread <= MAX_RELATIVE_SPREAD * abs(center), (
+                scenario, size, values,
+            )

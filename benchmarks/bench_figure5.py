@@ -1,0 +1,62 @@
+"""Figure 5: the headline result — PURE vs THRES(Δ=1) vs ADAPT.
+
+Regenerates the paper's main comparison and asserts its claims:
+
+1. on small systems (parallelism not exploitable) the AST metrics beat
+   PURE where execution-time variance gives them long subtasks to protect
+   (MDET/HDET);
+2. as the system grows, ADAPT tracks PURE (adaptive surplus fades) while
+   THRES falls behind PURE (its fixed surplus keeps stealing slack);
+3. ADAPT is never substantially worse than PURE anywhere in the sweep
+   ("AST performs at least as good as BST in all other situations").
+"""
+
+from _scale import run_once, n_graphs, system_sizes
+
+from repro.feast import build_experiment, lateness_report, mean_max_lateness
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs()
+SIZES = system_sizes()
+
+#: "Tracks PURE": relative gap allowed at saturation.
+TRACKING_TOLERANCE = 0.05
+#: "Never substantially worse": relative slack allowed anywhere.
+SAFETY_TOLERANCE = 0.05
+
+
+def bench_figure5(benchmark):
+    (config,) = build_experiment(
+        "figure5", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+    result = run_once(benchmark, run_experiment, config)
+    print()
+    print(lateness_report(result))
+
+    means = mean_max_lateness(result.records)
+    small, large = min(SIZES), max(SIZES)
+
+    # Claim 1: AST wins on the smallest system for the high-variance
+    # scenarios (long subtasks exist to protect).
+    for scenario in ("MDET", "HDET"):
+        assert means[(scenario, "ADAPT", small)] <= (
+            means[(scenario, "PURE", small)]
+        ), scenario
+        assert means[(scenario, "THRES", small)] <= (
+            means[(scenario, "PURE", small)]
+        ), scenario
+
+    for scenario in config.scenarios:
+        pure_large = means[(scenario, "PURE", large)]
+        # Claim 2a: ADAPT tracks PURE at saturation.
+        assert abs(means[(scenario, "ADAPT", large)] - pure_large) <= (
+            TRACKING_TOLERANCE * abs(pure_large)
+        ), scenario
+        # Claim 2b: THRES does not beat PURE at saturation (it crossed over).
+        assert means[(scenario, "THRES", large)] >= pure_large - 1e-6, scenario
+        # Claim 3: ADAPT never substantially worse than PURE anywhere.
+        for size in SIZES:
+            pure = means[(scenario, "PURE", size)]
+            assert means[(scenario, "ADAPT", size)] <= (
+                pure + SAFETY_TOLERANCE * abs(pure)
+            ), (scenario, size)

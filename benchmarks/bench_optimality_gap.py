@@ -1,0 +1,79 @@
+"""Optimality gap: deadline distribution + list scheduling vs exact B&B.
+
+On small graphs (where the branch-and-bound comparator of Section 2's
+related work is tractable) we can measure exactly how much maximum
+lateness the heuristic pipeline leaves on the table, per metric. Both
+sides run on the contention-free interconnect the exact search is defined
+for, so the comparison is apples-to-apples.
+
+Asserted: the exact schedule is never worse than any heuristic (sanity of
+the B&B), and the heuristics' mean gap stays within a generous bound — the
+pipeline is a *good* heuristic, not an arbitrary one.
+"""
+
+import random
+import statistics
+
+from _scale import run_once
+
+from repro.core import ast, bst
+from repro.graph import RandomGraphConfig, generate_task_graph
+from repro.machine import IdealNetwork, System
+from repro.sched import ListScheduler
+from repro.sched.optimal import BranchAndBoundScheduler
+
+N_GRAPHS = 10
+N_PROCESSORS = 3
+CONFIG = RandomGraphConfig(
+    n_subtasks_range=(8, 9), depth_range=(3, 4),
+)
+#: Mean allowed excess of heuristic max lateness over exact, in MET units.
+GAP_BOUND_METS = 1.5
+
+
+def bench_optimality_gap(benchmark):
+    graphs = [
+        generate_task_graph(CONFIG, rng=random.Random(1000 + i))
+        for i in range(N_GRAPHS)
+    ]
+    system = System(N_PROCESSORS, interconnect=IdealNetwork(N_PROCESSORS))
+    methods = {"PURE": bst("PURE", "CCNE"), "ADAPT": ast("ADAPT")}
+
+    def run():
+        gaps = {label: [] for label in methods}
+        unproven = 0
+        for graph in graphs:
+            for label, distributor in methods.items():
+                assignment = distributor.distribute(
+                    graph, n_processors=N_PROCESSORS
+                )
+                heuristic = ListScheduler(system).schedule(graph, assignment)
+                heuristic_lateness = max(
+                    heuristic.finish_time(n) - assignment.absolute_deadline(n)
+                    for n in graph.node_ids()
+                )
+                exact = BranchAndBoundScheduler(
+                    System(N_PROCESSORS), node_limit=2_000_000
+                ).schedule(graph, assignment)
+                if not exact.proven_optimal:
+                    unproven += 1
+                gaps[label].append(heuristic_lateness - exact.max_lateness)
+        return gaps, unproven
+
+    gaps, unproven = run_once(benchmark, run)
+    print()
+    print(f"optimality gap over {N_GRAPHS} graphs "
+          f"({N_PROCESSORS} processors, contention-free network):")
+    for label, values in gaps.items():
+        print(
+            f"  {label:<6} mean gap {statistics.mean(values):8.2f}   "
+            f"max gap {max(values):8.2f}   exact in {N_GRAPHS - unproven}"
+            f"/{N_GRAPHS} searches"
+        )
+
+    met = CONFIG.mean_execution_time
+    for label, values in gaps.items():
+        # The exact search can never lose to the heuristic...
+        assert min(values) >= -1e-6, (label, min(values))
+        # ...and the heuristic stays close to it on average.
+        assert statistics.mean(values) <= GAP_BOUND_METS * met, (label, values)

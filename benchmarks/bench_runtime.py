@@ -1,0 +1,106 @@
+"""Run-time robustness: does the distributed margin survive execution?
+
+The paper motivates minimizing maximum lateness as "how much additional
+background workload the schedule can handle". This bench takes the static
+story to run time with the discrete-event simulator:
+
+* ``bench_runtime_jitter`` — execute the same annotated workloads with
+  actual execution times at 100 %, 75 % and 50 % of WCET under the dynamic
+  executive. Lateness must improve monotonically as executions shorten,
+  for both PURE and ADAPT.
+* ``bench_runtime_preemption`` — replay the static allocation under the
+  preemptive per-processor executive. Preemption can only help the
+  deadline-driven measure (a higher-priority task never waits behind a
+  lower-priority one), so mean max lateness must be no worse than the
+  non-preemptive replay.
+"""
+
+import statistics
+
+from _scale import run_once, n_graphs
+
+from repro.core import ast, bst
+from repro.graph import RandomGraphConfig, generate_task_graphs
+from repro.machine import System
+from repro.sched import ListScheduler
+from repro.sched.simulator import (
+    JitterModel,
+    allocation_of,
+    simulate_dynamic,
+    simulate_fixed,
+)
+
+GRAPHS = n_graphs(16)
+N_PROCESSORS = 4
+
+
+def _workloads():
+    return generate_task_graphs(GRAPHS, RandomGraphConfig(), seed=77)
+
+
+def bench_runtime_jitter(benchmark):
+    graphs = _workloads()
+    system = System(N_PROCESSORS)
+    methods = {
+        "PURE": bst("PURE", "CCNE"),
+        "ADAPT": ast("ADAPT"),
+    }
+
+    def run():
+        out = {}
+        for label, distributor in methods.items():
+            for factor in (1.0, 0.75, 0.5):
+                jitter = JitterModel(low=factor, high=factor)
+                values = []
+                for graph in graphs:
+                    assignment = distributor.distribute(
+                        graph, n_processors=N_PROCESSORS
+                    )
+                    trace = simulate_dynamic(
+                        graph, assignment, system, jitter=jitter
+                    )
+                    values.append(trace.max_lateness(assignment))
+                out[(label, factor)] = statistics.mean(values)
+        return out
+
+    out = run_once(benchmark, run)
+    print()
+    print("mean max lateness under the dynamic executive:")
+    for (label, factor), value in sorted(out.items()):
+        print(f"  {label:<6} actual={factor:.0%}  {value:10.1f}")
+
+    for label in methods:
+        assert out[(label, 0.5)] <= out[(label, 0.75)] <= out[(label, 1.0)], (
+            label, out,
+        )
+
+
+def bench_runtime_preemption(benchmark):
+    graphs = _workloads()
+    system = System(N_PROCESSORS)
+    distributor = ast("ADAPT")
+
+    def run():
+        by_mode = {False: [], True: []}
+        for graph in graphs:
+            assignment = distributor.distribute(
+                graph, n_processors=N_PROCESSORS
+            )
+            static = ListScheduler(system).schedule(graph, assignment)
+            allocation = allocation_of(static)
+            for preemptive in (False, True):
+                trace = simulate_fixed(
+                    graph, assignment, system, allocation,
+                    preemptive=preemptive,
+                )
+                by_mode[preemptive].append(trace.max_lateness(assignment))
+        return {
+            mode: statistics.mean(values) for mode, values in by_mode.items()
+        }
+
+    out = run_once(benchmark, run)
+    print()
+    print("mean max lateness, fixed allocation replay:")
+    print(f"  non-preemptive  {out[False]:10.1f}")
+    print(f"  preemptive      {out[True]:10.1f}")
+    assert out[True] <= out[False] + 1e-6, out

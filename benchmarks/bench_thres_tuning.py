@@ -1,0 +1,96 @@
+"""THRES surplus tuning across workload shapes (paper Sections 7–8).
+
+The paper concludes that "a universally best value of Δ is nigh impossible
+to find" and that the best surplus "is very application-dependent and must
+in the worst case be chosen specifically for each system". This bench
+makes that claim operational with the sweep API: grid Δ ∈ {0.5, 1, 2, 4}
+across three workload shapes (wide / paper-shaped / deep graphs, i.e.
+decreasing parallelism) under HDET, and identify the per-shape winner.
+
+Asserted:
+
+* at saturation (largest size) the smallest surplus wins on every shape —
+  extra surplus only steals slack once contention is gone;
+* at the smallest size the winning Δ *differs across shapes* (at least
+  two distinct winners), the no-universal-Δ claim;
+* the winning Δ at the smallest size is monotone in graph parallelism:
+  wide graphs want at least as much surplus as deep graphs.
+
+Uses a fixed trial count (not REPRO_GRAPHS): the assertions identify
+argmins, which need the calibrated scale to stay deterministic.
+"""
+
+from _scale import run_once, system_sizes
+
+from repro.feast import ExperimentConfig, MethodSpec, run_experiments
+from repro.feast.aggregate import mean_max_lateness
+from repro.feast.tables import lateness_report
+from repro.graph.generator import RandomGraphConfig
+
+SIZES = system_sizes("2,4,8,16")
+N_GRAPHS = 16
+SURPLUSES = (0.5, 1.0, 2.0, 4.0)
+
+#: (shape name, depth range, degree range), in decreasing parallelism.
+SHAPES = (
+    ("wide", (4, 6), (1, 2)),
+    ("paper", (8, 12), (1, 3)),
+    ("deep", (16, 20), (1, 3)),
+)
+
+
+def _config(shape_name, depth_range, degree_range):
+    return ExperimentConfig(
+        name=f"thres-tuning-{shape_name}",
+        description=f"THRES surplus grid on {shape_name} graphs",
+        methods=tuple(
+            MethodSpec(
+                label=f"d{surplus:g}",
+                metric="THRES",
+                surplus=surplus,
+                threshold_factor=1.25,
+            )
+            for surplus in SURPLUSES
+        ),
+        graph_config=RandomGraphConfig(
+            depth_range=depth_range, degree_range=degree_range
+        ),
+        scenarios=("HDET",),
+        n_graphs=N_GRAPHS,
+        system_sizes=SIZES,
+        seed=12,
+    )
+
+
+def bench_thres_tuning(benchmark):
+    configs = [_config(*shape) for shape in SHAPES]
+    results = run_once(benchmark, run_experiments, configs)
+
+    labels = [f"d{s:g}" for s in SURPLUSES]
+    small, large = min(SIZES), max(SIZES)
+    winner_small = {}
+    winner_large = {}
+    print()
+    for (shape_name, *_), result in zip(SHAPES, results):
+        print(lateness_report(result))
+        print()
+        means = mean_max_lateness(result.records)
+        winner_small[shape_name] = min(
+            labels, key=lambda l: means[("HDET", l, small)]
+        )
+        winner_large[shape_name] = min(
+            labels, key=lambda l: means[("HDET", l, large)]
+        )
+
+    print(f"winning surplus at {small} procs: {winner_small}")
+    print(f"winning surplus at {large} procs: {winner_large}")
+
+    # Saturation always wants the smallest surplus.
+    assert all(w == labels[0] for w in winner_large.values()), winner_large
+    # No universal Δ: the small-system winner is shape-dependent.
+    assert len(set(winner_small.values())) >= 2, winner_small
+    # Monotone in parallelism: wide wants >= surplus than deep.
+    order = {label: index for index, label in enumerate(labels)}
+    assert order[winner_small["wide"]] >= order[winner_small["deep"]], (
+        winner_small
+    )

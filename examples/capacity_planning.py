@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many processors does this application need?
+
+Uses the off-line schedulability analysis to answer the platform-sizing
+question before committing hardware:
+
+* the demand-derived lower bound on processors (no placement can do with
+  fewer);
+* the empirical answer (smallest platform where the full pipeline meets
+  every distributed deadline);
+* a per-processor certification of the chosen placement (the preemptive-
+  EDF demand criterion, necessary and sufficient per processor).
+
+Run:  python examples/capacity_planning.py
+"""
+
+import random
+
+from repro import (
+    ListScheduler,
+    RandomGraphConfig,
+    System,
+    ast,
+    max_lateness,
+)
+from repro.graph import generate_task_graph, graph_stats
+from repro.sched.schedulability import (
+    analyze_placement,
+    analyze_platform,
+    min_processors_needed,
+)
+
+MAX_PLATFORM = 16
+
+
+def main() -> None:
+    graph = generate_task_graph(
+        # A tighter application than the paper default: laxity 1.1.
+        RandomGraphConfig(overall_laxity_ratio=1.1),
+        rng=random.Random(4),
+    )
+    stats = graph_stats(graph)
+    distributor = ast("ADAPT")
+    print(f"application: {graph!r}")
+    print(f"  parallelism={stats.average_parallelism:.2f} "
+          f"workload={stats.total_workload:.0f} "
+          f"critical path={stats.longest_path_execution_time:.0f}")
+
+    # The distribution itself depends on the platform size (ADAPT), so the
+    # analysis sweeps candidate platforms.
+    print(f"\n{'procs':>6} {'demand bound':>13} {'utilization':>12} "
+          f"{'max lateness':>13}  verdict")
+    smallest_feasible = None
+    for n in range(1, MAX_PLATFORM + 1):
+        assignment = distributor.distribute(graph, n_processors=n)
+        platform_report = analyze_platform(assignment, n_processors=n)
+        schedule = ListScheduler(System(n)).schedule(graph, assignment)
+        lateness = max_lateness(schedule, assignment)
+        feasible = lateness <= 0
+        if feasible and smallest_feasible is None:
+            smallest_feasible = n
+        bound = min_processors_needed(assignment)
+        verdict = "meets all deadlines" if feasible else (
+            "provably infeasible" if not platform_report.schedulable
+            else "misses deadlines"
+        )
+        print(
+            f"{n:>6} {bound:>13} {platform_report.utilization:>11.0%} "
+            f"{lateness:>13.1f}  {verdict}"
+        )
+        if feasible and n >= 2:
+            break
+
+    assert smallest_feasible is not None, "no feasible platform found"
+    print(f"\nsmallest feasible platform: {smallest_feasible} processors")
+
+    # Certify the chosen placement per processor.
+    assignment = distributor.distribute(graph, n_processors=smallest_feasible)
+    schedule = ListScheduler(System(smallest_feasible)).schedule(
+        graph, assignment
+    )
+    report = analyze_placement(assignment, schedule)
+    print(
+        "per-processor demand criterion on the chosen placement: "
+        + ("PASS (certified under preemptive EDF)" if report.schedulable
+           else f"violations: {[str(v) for v in report.violations[:3]]}")
+    )
+
+
+if __name__ == "__main__":
+    main()

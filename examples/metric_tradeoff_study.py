@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Metric trade-off study: when does ADAPT beat PURE, and by how much?
+
+A condensed version of the paper's Figure 5 story, run through the public
+experiment API: sweep the system size for PURE, THRES and ADAPT over the
+three execution-time scenarios and print both the lateness panels and the
+relative improvement of the AST metrics over BST's best metric (PURE).
+
+Run:  python examples/metric_tradeoff_study.py           (fast, 16 graphs)
+      REPRO_GRAPHS=128 python examples/metric_tradeoff_study.py   (paper scale)
+"""
+
+import os
+
+from repro.feast import (
+    build_experiment,
+    improvement_over,
+    lateness_report,
+    run_experiment,
+)
+
+N_GRAPHS = int(os.environ.get("REPRO_GRAPHS", "16"))
+SIZES = (2, 3, 4, 6, 8, 12, 16)
+
+
+def main() -> None:
+    (config,) = build_experiment(
+        "figure5", n_graphs=N_GRAPHS, system_sizes=SIZES
+    )
+    print(f"running {config.n_trials} trials ({N_GRAPHS} graphs/combination)")
+    result = run_experiment(config)
+    print()
+    print(lateness_report(result))
+
+    improvements = improvement_over(result.records, baseline_method="PURE")
+    print("\nrelative improvement of the AST metrics over PURE")
+    print("(positive = better margin than PURE; the paper reports up to")
+    print(" 100% for small systems where parallelism cannot be exploited):")
+    header = f"{'scenario':<10}{'procs':>6}" + "".join(
+        f"{m:>10}" for m in ("THRES", "ADAPT")
+    )
+    print(header)
+    for scenario in config.scenarios:
+        for size in SIZES:
+            row = f"{scenario:<10}{size:>6}"
+            for method in ("THRES", "ADAPT"):
+                value = improvements.get((scenario, method, size))
+                row += f"{value:>+10.1%}" if value is not None else f"{'-':>10}"
+            print(row)
+
+    # Where is the crossover? THRES should fall behind PURE as the system
+    # grows; ADAPT should track PURE.
+    print("\ncrossovers (first size where the metric stops beating PURE):")
+    for scenario in config.scenarios:
+        for method in ("THRES", "ADAPT"):
+            cross = next(
+                (
+                    s for s in SIZES
+                    if improvements.get((scenario, method, s), 0) < 0
+                ),
+                None,
+            )
+            print(f"  {scenario} {method}: "
+                  f"{cross if cross is not None else 'never (within sweep)'}")
+
+
+if __name__ == "__main__":
+    main()

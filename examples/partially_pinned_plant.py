@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Relaxed vs strict locality: sweeping the pinned fraction.
+
+The paper's setting sits between two classical extremes:
+
+* fully relaxed - no subtask is pre-assigned (pure task-assignment
+  freedom, what most of the evaluation uses), and
+* fully strict - every subtask is pre-assigned (the BST assumption, under
+  which the slicing technique is provably optimal).
+
+This example pins a growing random fraction of each workload's subtasks
+and watches what the lost assignment freedom costs: the list scheduler can
+no longer co-locate communicating subtasks or balance load, so lateness
+degrades toward the strict end - exactly why deadline distribution that
+works *before* assignment matters.
+
+Run:  python examples/partially_pinned_plant.py
+"""
+
+import random
+import statistics
+
+from repro import (
+    ListScheduler,
+    RandomGraphConfig,
+    System,
+    ast,
+    bst,
+    max_lateness,
+)
+from repro.core.pinning import pin_random_fraction
+from repro.graph import generate_task_graphs
+
+N_PROCESSORS = 4
+N_GRAPHS = 16
+FRACTIONS = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def main() -> None:
+    base_graphs = generate_task_graphs(N_GRAPHS, RandomGraphConfig(), seed=33)
+    system = System(N_PROCESSORS)
+    methods = {"PURE": bst("PURE", "CCNE"), "ADAPT": ast("ADAPT")}
+
+    print(
+        f"{N_GRAPHS} workloads on {N_PROCESSORS} processors; pins drawn "
+        "uniformly at random\n"
+    )
+    print("mean max task lateness by strictly-pinned fraction:")
+    print(f"{'pinned':>8}" + "".join(f"{m:>10}" for m in methods))
+
+    for fraction in FRACTIONS:
+        row = f"{fraction:>7.0%} "
+        for label, distributor in methods.items():
+            values = []
+            for index, graph in enumerate(base_graphs):
+                pinned = pin_random_fraction(
+                    graph, fraction, N_PROCESSORS,
+                    rng=random.Random(1000 + index),
+                )
+                assignment = distributor.distribute(
+                    pinned, n_processors=N_PROCESSORS
+                )
+                schedule = ListScheduler(system).schedule(pinned, assignment)
+                values.append(max_lateness(schedule, assignment))
+            row += f"{statistics.mean(values):>10.1f}"
+        print(row)
+
+    print(
+        "\nreading: at 0% the scheduler owns every placement decision; at "
+        "100% the\nplacement is a random pre-assignment and the distribution "
+        "must absorb the\nresulting communication. The estimators still "
+        "exploit whatever pins exist:\npinned co-located pairs are known to "
+        "be free, pinned split pairs are known\nto pay the bus."
+    )
+
+
+if __name__ == "__main__":
+    main()

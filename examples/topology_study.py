@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Interconnect study: the same workload across four topologies.
+
+Section 8 of the paper reports that AST scales across interconnection
+topologies. This example distributes one batch of workloads once per
+topology and compares how the platform's communication structure shifts
+the lateness picture: a single shared bus serializes every transfer, a
+fully-connected network only pays per-pair latency, ring and mesh sit in
+between with multi-hop store-and-forward routes.
+
+Run:  python examples/topology_study.py
+"""
+
+import statistics
+
+from repro import (
+    ListScheduler,
+    RandomGraphConfig,
+    System,
+    ast,
+    make_interconnect,
+    max_lateness,
+)
+from repro.graph import generate_task_graphs
+
+TOPOLOGIES = ("bus", "fully-connected", "ring", "mesh", "ideal")
+SIZES = (2, 4, 8, 16)
+N_GRAPHS = 16
+
+
+def main() -> None:
+    graphs = generate_task_graphs(N_GRAPHS, RandomGraphConfig(), seed=21)
+    print(f"{N_GRAPHS} workloads, ADAPT distribution, EDF list scheduling\n")
+    header = f"{'procs':>6}" + "".join(f"{t:>17}" for t in TOPOLOGIES)
+    print("mean max task lateness (more negative = more margin):")
+    print(header)
+
+    distributor = ast("ADAPT")
+    for size in SIZES:
+        row = f"{size:>6}"
+        for topology in TOPOLOGIES:
+            system = System(size, interconnect=make_interconnect(topology, size))
+            values = []
+            for graph in graphs:
+                assignment = distributor.distribute(graph, n_processors=size)
+                schedule = ListScheduler(system).schedule(graph, assignment)
+                values.append(max_lateness(schedule, assignment))
+            row += f"{statistics.mean(values):>17.1f}"
+        print(row)
+
+    print(
+        "\nreading: 'ideal' bounds what any topology could achieve "
+        "(no contention);\nthe gap between 'bus' and 'ideal' is the price "
+        "of serializing transfers\non one medium, and it narrows as the "
+        "scheduler co-locates communicating\nsubtasks on small systems."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP 660 wheel support; on offline boxes without
+the ``wheel`` distribution, ``python setup.py develop`` provides the same
+editable install through the legacy path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,289 @@
+"""Command-line interface of the reproduction.
+
+Examples
+--------
+List the available experiments::
+
+    repro list
+
+Run a figure at paper scale (128 graphs) or any smaller scale::
+
+    repro run figure5
+    repro run figure2 --graphs 32 --sizes 2,4,8,16 --csv out/figure2.csv
+
+Inspect one generated workload and one schedule::
+
+    repro demo --processors 4 --metric ADAPT
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import ast, bst, validate_assignment
+from repro.core.slicer import DeadlineDistributor
+from repro.feast import (
+    EXPERIMENTS,
+    build_experiment,
+    lateness_report,
+    run_experiment,
+    to_csv,
+)
+from repro.graph import RandomGraphConfig, generate_task_graph, graph_stats
+from repro.graph.serialization import to_dot
+from repro.machine import System, make_interconnect
+from repro.sched import ListScheduler, schedule_metrics
+
+
+def _parse_sizes(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--sizes expects comma-separated integers, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Deadline Assignment in Distributed Hard "
+            "Real-Time Systems with Relaxed Locality Constraints' "
+            "(Jonsson & Shin, ICDCS 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run a registered experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--graphs", type=int, default=None,
+        help="task graphs per parameter combination (default: builder's)",
+    )
+    run.add_argument(
+        "--sizes", type=_parse_sizes, default=None,
+        help="comma-separated system sizes, e.g. 2,4,8,16",
+    )
+    run.add_argument("--seed", type=int, default=None, help="workload seed")
+    run.add_argument("--csv", default=None, help="write raw trials as CSV")
+    run.add_argument(
+        "--save", default=None,
+        help="save raw results as JSON (reload with `repro compare`)",
+    )
+    run.add_argument(
+        "--plot", action="store_true",
+        help="render ASCII plots of each scenario panel",
+    )
+    run.add_argument(
+        "--markdown", default=None,
+        help="write a markdown report of all panels",
+    )
+    run.add_argument(
+        "--baseline", default=None,
+        help="method label for the report's improvement/significance section",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
+    comp = sub.add_parser(
+        "compare", help="diff two saved experiment runs (JSON from --save)"
+    )
+    comp.add_argument("before", help="baseline result JSON")
+    comp.add_argument("after", help="candidate result JSON")
+    comp.add_argument(
+        "--threshold", type=float, default=1.0,
+        help="ignore per-point changes below this many time units",
+    )
+
+    demo = sub.add_parser(
+        "demo", help="distribute and schedule one random graph, verbosely"
+    )
+    demo.add_argument("--processors", type=int, default=4)
+    demo.add_argument(
+        "--metric", default="ADAPT", choices=["NORM", "PURE", "THRES", "ADAPT"]
+    )
+    demo.add_argument("--comm", default="CCNE", choices=["CCNE", "CCAA"])
+    demo.add_argument("--topology", default="bus")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--dot", default=None, help="write the graph as DOT")
+    demo.add_argument(
+        "--svg", default=None,
+        help="write the schedule as an SVG Gantt chart (with windows)",
+    )
+
+    return parser
+
+
+def cmd_list() -> int:
+    print("Registered experiments:")
+    for name, builder in sorted(EXPERIMENTS.items()):
+        doc = (builder.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<18} {doc}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.graphs is not None:
+        kwargs["n_graphs"] = args.graphs
+    if args.sizes is not None:
+        kwargs["system_sizes"] = tuple(args.sizes)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    configs = build_experiment(args.experiment, **kwargs)
+
+    csv_chunks: List[str] = []
+    results = []
+    for config in configs:
+        if not args.quiet:
+            print(f"running {config.name}: {config.n_trials} trials ...")
+
+        def progress(done: int, total: int) -> None:
+            if not args.quiet and done % max(1, total // 10) == 0:
+                print(f"  {done}/{total}", file=sys.stderr)
+
+        result = run_experiment(config, progress=progress)
+        print(lateness_report(result))
+        print()
+        if args.plot:
+            from repro.feast import lateness_plot
+
+            for scenario in config.scenarios:
+                print(lateness_plot(result, scenario))
+                print()
+        if args.save:
+            from repro.feast import save_result
+
+            path = args.save
+            if len(configs) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = (
+                    f"{stem}-{config.name}.{ext}" if dot else
+                    f"{path}-{config.name}"
+                )
+            save_result(result, path)
+            print(f"saved {path}")
+        csv_chunks.append(to_csv(result))
+        results.append(result)
+
+    if args.markdown:
+        from repro.feast.reporting import render_report
+
+        with open(args.markdown, "w") as fp:
+            fp.write(render_report(
+                results,
+                title=f"Experiment report: {args.experiment}",
+                baseline=args.baseline,
+            ))
+        print(f"wrote {args.markdown}")
+
+    if args.csv:
+        header, *_ = csv_chunks[0].splitlines()
+        lines = [header]
+        for chunk in csv_chunks:
+            lines.extend(chunk.splitlines()[1:])
+        with open(args.csv, "w") as fp:
+            fp.write("\n".join(lines) + "\n")
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    graph = generate_task_graph(
+        RandomGraphConfig(), rng=random.Random(args.seed)
+    )
+    stats = graph_stats(graph)
+    print(f"workload: {graph!r}")
+    print(
+        f"  depth={stats.depth} parallelism={stats.average_parallelism:.2f} "
+        f"workload={stats.total_workload:.0f} CCR="
+        f"{stats.communication_to_computation_ratio:.2f}"
+    )
+
+    if args.metric in ("THRES", "ADAPT"):
+        distributor: DeadlineDistributor = ast(args.metric)
+    else:
+        distributor = bst(args.metric, args.comm)
+    assignment = distributor.distribute(graph, n_processors=args.processors)
+    report = validate_assignment(assignment)
+    print(
+        f"distribution: {assignment!r}\n"
+        f"  min laxity={assignment.min_laxity():.1f} valid={report.ok}"
+    )
+
+    system = System(
+        args.processors,
+        interconnect=make_interconnect(args.topology, args.processors),
+    )
+    schedule = ListScheduler(system).schedule(graph, assignment)
+    schedule.validate()
+    metrics = schedule_metrics(schedule, assignment)
+    print(
+        f"schedule: makespan={metrics.makespan:.1f} "
+        f"max lateness={metrics.max_lateness:.1f} "
+        f"late subtasks={metrics.n_late}/{metrics.n_subtasks}"
+    )
+    print(schedule.gantt())
+
+    if args.dot:
+        with open(args.dot, "w") as fp:
+            fp.write(to_dot(graph))
+        print(f"wrote {args.dot}")
+    if args.svg:
+        from repro.sched import schedule_to_svg
+
+        with open(args.svg, "w") as fp:
+            fp.write(schedule_to_svg(schedule, assignment))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.feast import compare, load_result
+
+    before = load_result(args.before)
+    after = load_result(args.after)
+    deltas = compare(before, after, threshold=args.threshold)
+    if not deltas:
+        print(
+            f"no per-point changes above {args.threshold:g} time units "
+            f"({len(before)} vs {len(after)} trials)"
+        )
+        return 0
+    print(f"{'scenario':<8} {'method':<14} {'procs':>5} "
+          f"{'before':>10} {'after':>10} {'delta':>9}")
+    for d in deltas:
+        print(
+            f"{d.scenario:<8} {d.method:<14} {d.n_processors:>5} "
+            f"{d.before:>10.1f} {d.after:>10.1f} {d.delta:>+9.1f}"
+        )
+    worst = deltas[0]
+    print(
+        f"\nworst regression: {worst.method} at {worst.n_processors} procs "
+        f"({worst.scenario}): {worst.delta:+.1f} ({worst.relative:+.1%})"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "demo":
+        return cmd_demo(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Result objects of deadline distribution.
+
+A :class:`DeadlineAssignment` is the "annotated task graph" the paper's
+algorithm produces: a release time and relative deadline per subtask, plus
+windows for every materialized communication subtask, plus a record of the
+slices (critical paths) the algorithm committed, in order — useful both for
+debugging and for the validation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnknownNodeError
+from repro.graph.taskgraph import TaskGraph
+from repro.types import EdgeId, NodeId, Time
+
+
+@dataclass(frozen=True)
+class Window:
+    """One execution window: ``[release, absolute_deadline]`` for an entity
+    whose (estimated) cost is ``cost``."""
+
+    release: Time
+    absolute_deadline: Time
+    cost: Time
+
+    @property
+    def relative_deadline(self) -> Time:
+        """Paper's ``d_i``: the time budget from release to deadline."""
+        return self.absolute_deadline - self.release
+
+    @property
+    def laxity(self) -> Time:
+        """Pre-schedule laxity: how much delay the window tolerates."""
+        return self.relative_deadline - self.cost
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the window cannot even hold its own cost."""
+        return self.laxity < 0
+
+
+@dataclass(frozen=True)
+class SliceRecord:
+    """One committed critical path: which nodes, at what metric value."""
+
+    nodes: Tuple[str, ...]
+    ratio: float
+    release: Time
+    deadline: Time
+
+
+@dataclass
+class DeadlineAssignment:
+    """Deadline distribution output for one task graph.
+
+    ``windows`` maps every subtask id to its window; ``message_windows``
+    maps the arcs whose estimated communication cost was non-negligible
+    (only those receive windows — paper Section 4.2, step 4).
+    """
+
+    graph: TaskGraph
+    metric_name: str
+    comm_strategy_name: str
+    windows: Dict[NodeId, Window]
+    message_windows: Dict[EdgeId, Window]
+    slices: List[SliceRecord] = field(default_factory=list)
+    n_processors: Optional[int] = None
+
+    def window(self, node_id: NodeId) -> Window:
+        try:
+            return self.windows[node_id]
+        except KeyError:
+            raise UnknownNodeError(
+                f"no window assigned for subtask {node_id!r}"
+            ) from None
+
+    def release(self, node_id: NodeId) -> Time:
+        return self.window(node_id).release
+
+    def absolute_deadline(self, node_id: NodeId) -> Time:
+        return self.window(node_id).absolute_deadline
+
+    def relative_deadline(self, node_id: NodeId) -> Time:
+        return self.window(node_id).relative_deadline
+
+    def laxity(self, node_id: NodeId) -> Time:
+        return self.window(node_id).laxity
+
+    def message_window(self, src: NodeId, dst: NodeId) -> Optional[Window]:
+        """The window of the arc's communication subtask, or ``None`` when
+        its estimated cost was negligible (no window assigned)."""
+        return self.message_windows.get((src, dst))
+
+    def min_laxity(self) -> Time:
+        """Minimum subtask laxity — BST's notion of distribution quality."""
+        return min(w.laxity for w in self.windows.values())
+
+    def degenerate_windows(self) -> List[NodeId]:
+        """Subtasks whose window is smaller than their execution time."""
+        return [n for n, w in self.windows.items() if w.is_degenerate]
+
+    def n_slices(self) -> int:
+        return len(self.slices)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeadlineAssignment(metric={self.metric_name}, "
+            f"comm={self.comm_strategy_name}, windows={len(self.windows)}, "
+            f"slices={len(self.slices)})"
+        )

@@ -1,0 +1,315 @@
+"""Related-work deadline-distribution baselines (paper Section 2).
+
+The paper positions BST/AST against a family of earlier end-to-end
+deadline-assignment strategies. This module implements the classical ones
+so the library can compare the slicing techniques against the related work
+the paper surveys, on the same workloads and the same measurement:
+
+* Kao & Garcia-Molina (ICDCS'93/'94), for soft real-time systems with
+  known assignments:
+
+  - :class:`UltimateDeadline` (UD) — every subtask simply inherits the
+    end-to-end deadline of its downstream output;
+  - :class:`EffectiveDeadline` (ED) — UD minus the execution time still to
+    come downstream (the subtask's *effective* latest completion);
+  - :class:`EqualSlack` (EQS) — spread the remaining slack equally over
+    the remaining downstream stages;
+  - :class:`EqualFlexibility` (EQF) — spread the remaining slack in
+    proportion to the remaining execution times.
+
+* Bettati & Liu (ICDCS'92), flow-shop scheduling:
+
+  - :class:`EvenFlexibility` (DIV) — divide the end-to-end window evenly
+    over the stages of each path ("distributing end-to-end deadlines
+    evenly over subtasks").
+
+All of them were designed for *sequential* pipelines; on a general DAG we
+use the standard conservative generalization: a subtask's downstream
+quantities are taken along its *worst* (heaviest) downstream path, and
+when windows from several outputs disagree the tightest wins. Deadlines
+are then tightened to the literature's consistency notion —
+``deadline(pred) <= deadline(succ) − c(succ)`` — and release times are the
+earliest-start estimates along the heaviest upstream path. Unlike the
+slicing techniques these strategies do not produce non-overlapping
+*windows* (that concept is BST's contribution); the deadlines are what the
+scheduler and the lateness measurement consume.
+
+These strategies ignore communication costs by design (their original
+setting has none) — equivalent to the CCNE world-view.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.core.annotations import DeadlineAssignment, Window
+from repro.errors import DistributionError, ValidationError
+from repro.graph.taskgraph import TaskGraph
+from repro.types import NodeId, Time
+
+
+class BaselineDistributor(ABC):
+    """A non-slicing deadline-distribution strategy.
+
+    Subclasses define :meth:`_absolute_deadline` from per-node downstream
+    aggregates; the base class derives consistent release times and
+    packages the result as a :class:`DeadlineAssignment`.
+    """
+
+    #: Name recorded on the produced assignments.
+    name: str = "abstract"
+
+    def distribute(
+        self,
+        graph: TaskGraph,
+        n_processors: Optional[int] = None,
+        total_capacity: Optional[float] = None,
+    ) -> DeadlineAssignment:
+        """Assign windows to every subtask of ``graph``.
+
+        ``n_processors``/``total_capacity`` are accepted for interface
+        compatibility with the slicing distributors; these strategies are
+        platform-oblivious and ignore both.
+        """
+        graph.validate()
+        down = _downstream_aggregates(graph)
+        up = _upstream_aggregates(graph)
+        deadlines: Dict[NodeId, Time] = {}
+        for node_id in graph.node_ids():
+            deadlines[node_id] = self._absolute_deadline(
+                graph, node_id, down[node_id], up[node_id]
+            )
+        # Tighten to precedence consistency: a node must complete before
+        # the earliest successor deadline minus that successor's wcet.
+        for node_id in reversed(graph.topological_order()):
+            for succ in graph.successors(node_id):
+                bound = deadlines[succ] - graph.node(succ).wcet
+                if bound < deadlines[node_id]:
+                    deadlines[node_id] = bound
+        # Releases follow forward: earliest-start given upstream deadlines
+        # is not meaningful for these strategies (they predate windows), so
+        # use the canonical earliest release: heaviest upstream work.
+        windows: Dict[NodeId, Window] = {}
+        for node_id in graph.node_ids():
+            release = up[node_id].release
+            windows[node_id] = Window(
+                release=release,
+                absolute_deadline=deadlines[node_id],
+                cost=graph.node(node_id).wcet,
+            )
+        return DeadlineAssignment(
+            graph=graph,
+            metric_name=self.name,
+            comm_strategy_name="CCNE",
+            windows=windows,
+            message_windows={},
+            slices=[],
+            n_processors=n_processors,
+        )
+
+    @abstractmethod
+    def _absolute_deadline(
+        self,
+        graph: TaskGraph,
+        node_id: NodeId,
+        down: "_Downstream",
+        up: "_Upstream",
+    ) -> Time:
+        """The strategy's absolute deadline for one subtask."""
+
+
+class _Downstream:
+    """Worst-path downstream aggregates of one node."""
+
+    __slots__ = ("deadline", "remaining_exec", "remaining_stages")
+
+    def __init__(self, deadline: Time, remaining_exec: Time, remaining_stages: int):
+        #: Tightest end-to-end deadline among reachable outputs (via the
+        #: binding worst path).
+        self.deadline = deadline
+        #: Execution time strictly after this node along the binding path.
+        self.remaining_exec = remaining_exec
+        #: Number of subtasks strictly after this node along the binding path.
+        self.remaining_stages = remaining_stages
+
+
+class _Upstream:
+    """Worst-path upstream aggregates of one node."""
+
+    __slots__ = ("release", "elapsed_exec", "elapsed_stages")
+
+    def __init__(self, release: Time, elapsed_exec: Time, elapsed_stages: int):
+        #: Earliest consistent release: latest (anchor + upstream work).
+        self.release = release
+        #: Execution time strictly before this node along the binding path.
+        self.elapsed_exec = elapsed_exec
+        #: Number of subtasks strictly before this node along the binding path.
+        self.elapsed_stages = elapsed_stages
+
+
+def _downstream_aggregates(graph: TaskGraph) -> Dict[NodeId, _Downstream]:
+    """Per node: the binding (tightest-slack) downstream path's numbers.
+
+    The binding output for a node is the one minimizing
+    ``deadline − remaining execution time`` — the conservative choice every
+    strategy here needs (a window derived from it satisfies all others).
+    """
+    out: Dict[NodeId, _Downstream] = {}
+    for node_id in reversed(graph.topological_order()):
+        node = graph.node(node_id)
+        if not graph.successors(node_id):
+            anchor = node.end_to_end_deadline
+            if anchor is None:
+                raise ValidationError(
+                    f"output subtask {node_id!r} lacks an end-to-end deadline"
+                )
+            out[node_id] = _Downstream(anchor, 0.0, 0)
+            continue
+        best: Optional[_Downstream] = None
+        for succ in graph.successors(node_id):
+            tail = out[succ]
+            candidate = _Downstream(
+                deadline=tail.deadline,
+                remaining_exec=tail.remaining_exec + graph.node(succ).wcet,
+                remaining_stages=tail.remaining_stages + 1,
+            )
+            if best is None or (
+                candidate.deadline - candidate.remaining_exec
+                < best.deadline - best.remaining_exec
+            ):
+                best = candidate
+        assert best is not None
+        out[node_id] = best
+    return out
+
+
+def _upstream_aggregates(graph: TaskGraph) -> Dict[NodeId, _Upstream]:
+    """Per node: the binding (latest-arrival) upstream path's numbers."""
+    out: Dict[NodeId, _Upstream] = {}
+    for node_id in graph.topological_order():
+        node = graph.node(node_id)
+        if not graph.predecessors(node_id):
+            anchor = node.release
+            if anchor is None:
+                raise ValidationError(
+                    f"input subtask {node_id!r} lacks a release time"
+                )
+            out[node_id] = _Upstream(anchor, 0.0, 0)
+            continue
+        best: Optional[_Upstream] = None
+        for pred in graph.predecessors(node_id):
+            head = out[pred]
+            pred_wcet = graph.node(pred).wcet
+            candidate = _Upstream(
+                # The node cannot start before the binding upstream path's
+                # work completes; elapsed figures are relative to the
+                # binding input's release, which candidate.release hides,
+                # so carry (input release, elapsed) separately.
+                release=head.release + pred_wcet,
+                elapsed_exec=head.elapsed_exec + pred_wcet,
+                elapsed_stages=head.elapsed_stages + 1,
+            )
+            if best is None or candidate.release > best.release:
+                best = candidate
+        assert best is not None
+        out[node_id] = best
+    return out
+
+
+class UltimateDeadline(BaselineDistributor):
+    """UD: every subtask inherits its binding output's end-to-end deadline.
+
+    The weakest strategy — interior subtasks see no urgency at all — and
+    the classical straw-man in the deadline-assignment literature.
+    """
+
+    name = "UD"
+
+    def _absolute_deadline(self, graph, node_id, down, up):
+        return down.deadline
+
+
+class EffectiveDeadline(BaselineDistributor):
+    """ED: ultimate deadline minus the downstream execution still to come."""
+
+    name = "ED"
+
+    def _absolute_deadline(self, graph, node_id, down, up):
+        return down.deadline - down.remaining_exec
+
+
+class EqualSlack(BaselineDistributor):
+    """EQS: remaining slack divided equally over the remaining stages.
+
+    ``D − (t_arrival + remaining exec)`` is the path slack seen at this
+    node; the node keeps ``1/(k+1)`` of it (itself plus k downstream
+    stages).
+    """
+
+    name = "EQS"
+
+    def _absolute_deadline(self, graph, node_id, down, up):
+        node = graph.node(node_id)
+        arrival = up.release
+        finish_earliest = arrival + node.wcet
+        slack = down.deadline - (finish_earliest + down.remaining_exec)
+        share = slack / (down.remaining_stages + 1)
+        return finish_earliest + share
+
+
+class EqualFlexibility(BaselineDistributor):
+    """EQF: remaining slack divided in proportion to execution times.
+
+    The node keeps ``c_i / (c_i + remaining exec)`` of the remaining
+    slack — Kao & Garcia-Molina's best-performing sequential strategy.
+    """
+
+    name = "EQF"
+
+    def _absolute_deadline(self, graph, node_id, down, up):
+        node = graph.node(node_id)
+        arrival = up.release
+        finish_earliest = arrival + node.wcet
+        remaining = node.wcet + down.remaining_exec
+        slack = down.deadline - (finish_earliest + down.remaining_exec)
+        share = slack * (node.wcet / remaining) if remaining > 0 else 0.0
+        return finish_earliest + share
+
+
+class EvenFlexibility(BaselineDistributor):
+    """DIV: the end-to-end window divided evenly over the path stages.
+
+    Bettati & Liu's flow-shop assignment: stage ``j`` of ``m`` completes by
+    ``release + (j/m) × (D − release)``, independent of execution times.
+    """
+
+    name = "DIV"
+
+    def _absolute_deadline(self, graph, node_id, down, up):
+        stages_total = up.elapsed_stages + 1 + down.remaining_stages
+        # Anchor the division at the binding input's release.
+        input_release = up.release - up.elapsed_exec
+        fraction = (up.elapsed_stages + 1) / stages_total
+        return input_release + fraction * (down.deadline - input_release)
+
+
+#: Baselines by table name.
+BASELINES = {
+    "UD": UltimateDeadline,
+    "ED": EffectiveDeadline,
+    "EQS": EqualSlack,
+    "EQF": EqualFlexibility,
+    "DIV": EvenFlexibility,
+}
+
+
+def make_baseline(name: str) -> BaselineDistributor:
+    """Instantiate a related-work baseline by name."""
+    try:
+        cls = BASELINES[name.upper()]
+    except KeyError:
+        raise DistributionError(
+            f"unknown baseline {name!r}; expected one of {sorted(BASELINES)}"
+        ) from None
+    return cls()

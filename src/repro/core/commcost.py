@@ -1,0 +1,152 @@
+"""Communication-cost estimation strategies (paper Section 5.4).
+
+With relaxed locality constraints the deadline-distribution phase does not
+know which arcs will cross processors, so it must *estimate* the cost of
+each communication subtask. The paper evaluates two extremes:
+
+* :class:`CCNE` — *Communication Cost Non-Existing*: assume no arc ever
+  crosses processors (estimated cost 0 everywhere);
+* :class:`CCAA` — *Communication Cost Always Assumed*: assume every arc
+  crosses processors (estimated cost = message size × per-item cost).
+
+Both honour the *strict* subset of locality constraints: when both endpoint
+subtasks are pinned, the cost is no longer an estimate — it is 0 for a
+shared processor and the full transfer cost otherwise. That is what makes
+the estimators usable in the paper's "only a subset of assignments is
+known" setting. :class:`Oracle` reproduces the fully-known-assignment
+baseline of the BST paper by reading a complete assignment map.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ValidationError
+from repro.graph.node import Message
+from repro.graph.taskgraph import TaskGraph
+from repro.types import NodeId, ProcessorId, Time
+
+
+class CommCostEstimator(ABC):
+    """Strategy object estimating the cost of one communication subtask."""
+
+    #: Short name used in experiment tables ("CCNE", "CCAA", ...).
+    name: str = "abstract"
+
+    def __init__(self, cost_per_item: Time = 1.0) -> None:
+        if cost_per_item < 0:
+            raise ValidationError("cost_per_item must be >= 0")
+        self.cost_per_item = cost_per_item
+
+    def transfer_cost(self, message: Message) -> Time:
+        """The full interprocessor cost of ``message`` on the paper's bus
+        (one time unit per data item by default)."""
+        return message.size * self.cost_per_item
+
+    def estimate(self, graph: TaskGraph, message: Message) -> Time:
+        """Estimated cost of the communication subtask for ``message``.
+
+        Pinned endpoint pairs short-circuit to the *actual* cost; relaxed
+        arcs defer to the concrete strategy.
+        """
+        src = graph.node(message.src)
+        dst = graph.node(message.dst)
+        if src.is_pinned and dst.is_pinned:
+            if src.pinned_to == dst.pinned_to:
+                return 0.0
+            return self.transfer_cost(message)
+        return self._estimate_relaxed(graph, message)
+
+    @abstractmethod
+    def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
+        """Estimate for an arc whose placement is not fully known."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cost_per_item={self.cost_per_item})"
+
+
+class CCNE(CommCostEstimator):
+    """Communication Cost Non-Existing: assume same-processor placement."""
+
+    name = "CCNE"
+
+    def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
+        return 0.0
+
+
+class CCAA(CommCostEstimator):
+    """Communication Cost Always Assumed: assume cross-processor placement."""
+
+    name = "CCAA"
+
+    def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
+        return self.transfer_cost(message)
+
+
+class Scaled(CommCostEstimator):
+    """Interpolation between CCNE (factor 0) and CCAA (factor 1).
+
+    Not part of the paper's evaluation; provided for sensitivity studies of
+    the estimation strategy (e.g. "assume cross-processor communication with
+    probability ``factor``").
+    """
+
+    def __init__(self, factor: float, cost_per_item: Time = 1.0) -> None:
+        super().__init__(cost_per_item)
+        if not 0.0 <= factor <= 1.0:
+            raise ValidationError(f"factor must be in [0, 1], got {factor}")
+        self.factor = factor
+        self.name = f"CC{int(round(factor * 100)):02d}"
+
+    def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
+        return self.factor * self.transfer_cost(message)
+
+
+class Oracle(CommCostEstimator):
+    """Exact costs from a complete task assignment (strict locality).
+
+    Reproduces the BST setting in which the assignment is entirely known
+    before deadline distribution: pass the full node → processor map.
+    """
+
+    name = "ORACLE"
+
+    def __init__(
+        self,
+        assignment: Mapping[NodeId, ProcessorId],
+        cost_per_item: Time = 1.0,
+    ) -> None:
+        super().__init__(cost_per_item)
+        self.assignment: Dict[NodeId, ProcessorId] = dict(assignment)
+
+    def estimate(self, graph: TaskGraph, message: Message) -> Time:
+        try:
+            src_proc = self.assignment[message.src]
+            dst_proc = self.assignment[message.dst]
+        except KeyError as exc:
+            raise ValidationError(
+                f"Oracle estimator is missing an assignment for subtask {exc}"
+            ) from exc
+        if src_proc == dst_proc:
+            return 0.0
+        return self.transfer_cost(message)
+
+    def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
+        raise AssertionError("Oracle.estimate never delegates here")
+
+
+#: Estimators by name, as used in experiment configurations.
+ESTIMATORS = {"CCNE": CCNE, "CCAA": CCAA}
+
+
+def make_estimator(name: str, cost_per_item: Time = 1.0) -> CommCostEstimator:
+    """Instantiate a named estimation strategy (``"CCNE"`` or ``"CCAA"``)."""
+    try:
+        cls = ESTIMATORS[name.upper()]
+    except KeyError:
+        raise ValidationError(
+            f"unknown communication-cost strategy {name!r}; "
+            f"expected one of {sorted(ESTIMATORS)}"
+        ) from None
+    return cls(cost_per_item=cost_per_item)

@@ -1,0 +1,163 @@
+"""Critical-path search for the slicing algorithm (paper Figure 1, step 3).
+
+A *candidate path* runs through unassigned expanded-graph nodes from a
+release-anchored node to a deadline-anchored node; the critical path is the
+candidate minimizing the slicing metric R. The paper finds it with a
+breadth-first traversal; we use an equivalent dynamic program over the
+topological order that is exact for the paper's metrics:
+
+* PURE-family metrics (``uses_count = True``) depend on a path only through
+  ``release + Σc'`` and the node count, so per (node, count) a single best
+  state — maximum ``release + Σc'`` — suffices.
+* NORM (``uses_count = False``) depends on ``release`` and ``Σc``
+  separately; per node we keep the Pareto frontier over (release, Σc),
+  larger-is-better in both coordinates. The dominance argument is exact
+  whenever candidate end-to-end windows are non-negative; with negative
+  windows (over-constrained sub-problems) the pruning may return a
+  near-critical path, which only affects already-infeasible cases.
+
+Ties between equal-R candidates are broken deterministically (the paper
+breaks them arbitrarily): by fewer nodes, then by the path's id sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.expanded import ExpandedGraph
+from repro.core.metrics import SlicingMetric
+from repro.errors import DistributionError
+from repro.types import Time
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The outcome of one critical-path search."""
+
+    nodes: Tuple[str, ...]
+    ratio: float
+    release: Time
+    deadline: Time
+
+    @property
+    def end_to_end(self) -> Time:
+        return self.deadline - self.release
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class _State:
+    """One partial path ending at ``node``."""
+
+    __slots__ = ("release", "cost", "count", "node", "parent")
+
+    def __init__(
+        self,
+        release: Time,
+        cost: Time,
+        count: int,
+        node: str,
+        parent: Optional["_State"],
+    ) -> None:
+        self.release = release
+        self.cost = cost
+        self.count = count
+        self.node = node
+        self.parent = parent
+
+    def path(self) -> Tuple[str, ...]:
+        nodes: List[str] = []
+        state: Optional[_State] = self
+        while state is not None:
+            nodes.append(state.node)
+            state = state.parent
+        return tuple(reversed(nodes))
+
+
+def find_critical_path(
+    expanded: ExpandedGraph,
+    metric: SlicingMetric,
+    unassigned: Set[str],
+    pending_release: Mapping[str, Time],
+    pending_deadline: Mapping[str, Time],
+) -> CriticalPath:
+    """Return the candidate path minimizing ``metric`` among ``unassigned``.
+
+    ``pending_release``/``pending_deadline`` carry the current anchors
+    (static application anchors plus anchors inherited from already-sliced
+    neighbours). Raises :class:`DistributionError` when no candidate path
+    exists — which cannot happen for a validated graph and indicates
+    corrupted anchor bookkeeping.
+    """
+    states: Dict[str, List[_State]] = {}
+    best: Optional[Tuple[float, int, _State]] = None
+
+    for eid in expanded.topological_order():
+        if eid not in unassigned:
+            continue
+        node = expanded.node(eid)
+        vcost = metric.virtual_cost(node)
+        incoming: List[_State] = []
+        if eid in pending_release:
+            incoming.append(_State(pending_release[eid], vcost, 1, eid, None))
+        for pred in expanded.predecessors(eid):
+            for s in states.get(pred, ()):
+                incoming.append(
+                    _State(s.release, s.cost + vcost, s.count + 1, eid, s)
+                )
+        if not incoming:
+            continue
+        kept = _prune(incoming, metric.uses_count)
+        states[eid] = kept
+        if eid in pending_deadline:
+            deadline = pending_deadline[eid]
+            for s in kept:
+                ratio = metric.ratio(deadline - s.release, s.cost, s.count)
+                candidate = (ratio, s.count, s)
+                if best is None or _better(candidate, best):
+                    best = candidate
+
+    if best is None:
+        raise DistributionError(
+            "no candidate path between anchors; anchor bookkeeping is corrupt"
+        )
+    _, __, state = best
+    end = state.node
+    return CriticalPath(
+        nodes=state.path(),
+        ratio=best[0],
+        release=state.release,
+        deadline=pending_deadline[end],
+    )
+
+
+def _better(a: Tuple[float, int, _State], b: Tuple[float, int, _State]) -> bool:
+    """Deterministic candidate ordering: smaller R, then shorter path,
+    then lexicographically smaller node sequence."""
+    if a[0] != b[0]:
+        return a[0] < b[0]
+    if a[1] != b[1]:
+        return a[1] < b[1]
+    return a[2].path() < b[2].path()
+
+
+def _prune(incoming: List[_State], uses_count: bool) -> List[_State]:
+    if uses_count:
+        # Keep, per path length, the single state maximizing release + cost.
+        by_count: Dict[int, _State] = {}
+        for s in incoming:
+            cur = by_count.get(s.count)
+            if cur is None or s.release + s.cost > cur.release + cur.cost:
+                by_count[s.count] = s
+        return [by_count[n] for n in sorted(by_count)]
+    # Pareto frontier over (release, cost), larger-is-better.
+    ordered = sorted(incoming, key=lambda s: (-s.release, -s.cost))
+    kept: List[_State] = []
+    best_cost = float("-inf")
+    for s in ordered:
+        if s.cost > best_cost:
+            kept.append(s)
+            best_cost = s.cost
+    return kept

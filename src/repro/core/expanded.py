@@ -1,0 +1,145 @@
+"""The expanded graph: computation + materialized communication subtasks.
+
+Deadline distribution (paper Section 4.2) treats communication subtasks as
+first-class path members whenever their estimated cost is non-negligible.
+This module builds that view: every arc whose estimated cost is positive
+becomes an :class:`ENode` of kind ``"comm"`` spliced between its endpoints;
+zero-cost arcs remain plain edges. The expanded graph is an internal data
+structure of the ``repro.core`` layer — users interact with
+:class:`~repro.graph.taskgraph.TaskGraph` only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.commcost import CommCostEstimator
+from repro.graph.taskgraph import TaskGraph
+from repro.types import EdgeId, NodeId, Time
+
+#: Kind tags of expanded-graph nodes.
+TASK = "task"
+COMM = "comm"
+
+
+@dataclass(frozen=True)
+class ENode:
+    """One node of the expanded graph.
+
+    ``eid`` is unique across both kinds (comm nodes use the synthetic
+    ``chi(src->dst)`` id). ``cost`` is the execution time for task nodes and
+    the *estimated* communication cost for comm nodes.
+    """
+
+    eid: str
+    kind: str
+    cost: Time
+    task_id: Optional[NodeId] = None
+    edge: Optional[EdgeId] = None
+
+    @property
+    def is_task(self) -> bool:
+        return self.kind == TASK
+
+    @property
+    def is_comm(self) -> bool:
+        return self.kind == COMM
+
+
+class ExpandedGraph:
+    """Expanded view of a task graph under one comm-cost estimation."""
+
+    def __init__(self, graph: TaskGraph, estimator: CommCostEstimator) -> None:
+        self.graph = graph
+        self.estimator = estimator
+        self.nodes: Dict[str, ENode] = {}
+        self._succ: Dict[str, List[str]] = {}
+        self._pred: Dict[str, List[str]] = {}
+        #: Static anchors from the application (input releases, output
+        #: end-to-end deadlines), keyed by expanded node id.
+        self.static_release: Dict[str, Time] = {}
+        self.static_deadline: Dict[str, Time] = {}
+        self._build()
+
+    def _build(self) -> None:
+        graph = self.graph
+        for sub in graph.nodes():
+            enode = ENode(
+                eid=sub.node_id, kind=TASK, cost=sub.wcet, task_id=sub.node_id
+            )
+            self.nodes[enode.eid] = enode
+            self._succ[enode.eid] = []
+            self._pred[enode.eid] = []
+        for message in graph.messages():
+            estimated = self.estimator.estimate(graph, message)
+            if estimated > 0:
+                comm = ENode(
+                    eid=f"chi({message.src}->{message.dst})",
+                    kind=COMM,
+                    cost=estimated,
+                    edge=(message.src, message.dst),
+                )
+                self.nodes[comm.eid] = comm
+                self._succ[comm.eid] = [message.dst]
+                self._pred[comm.eid] = [message.src]
+                self._succ[message.src].append(comm.eid)
+                self._pred[message.dst].append(comm.eid)
+            else:
+                self._succ[message.src].append(message.dst)
+                self._pred[message.dst].append(message.src)
+        # Anchors come from ANY node carrying one, not just the boundary:
+        # graph validation requires them on inputs/outputs, but interior
+        # anchors (e.g. a periodic task's own deadline surviving an
+        # unrolling that gave it downstream consumers) are honoured too —
+        # a path may legitimately start or end at an interior anchor.
+        for sub in graph.nodes():
+            if sub.release is not None:
+                self.static_release[sub.node_id] = sub.release
+            if sub.end_to_end_deadline is not None:
+                self.static_deadline[sub.node_id] = sub.end_to_end_deadline
+        self._topo = self._topological_order()
+
+    def _topological_order(self) -> List[str]:
+        in_deg = {eid: len(self._pred[eid]) for eid in self.nodes}
+        ready = sorted(eid for eid, d in in_deg.items() if d == 0)
+        order: List[str] = []
+        head = 0
+        ready = list(ready)
+        while head < len(ready):
+            eid = ready[head]
+            head += 1
+            order.append(eid)
+            for s in self._succ[eid]:
+                in_deg[s] -= 1
+                if in_deg[s] == 0:
+                    ready.append(s)
+        # The underlying task graph is validated acyclic; splicing comm
+        # nodes into arcs cannot create cycles.
+        assert len(order) == len(self.nodes)
+        return order
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        return list(self._topo)
+
+    def successors(self, eid: str) -> List[str]:
+        return list(self._succ[eid])
+
+    def predecessors(self, eid: str) -> List[str]:
+        return list(self._pred[eid])
+
+    def node(self, eid: str) -> ENode:
+        return self.nodes[eid]
+
+    def task_nodes(self) -> List[ENode]:
+        return [n for n in self.nodes.values() if n.is_task]
+
+    def comm_nodes(self) -> List[ENode]:
+        return [n for n in self.nodes.values() if n.is_comm]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, eid: object) -> bool:
+        return eid in self.nodes

@@ -1,0 +1,256 @@
+"""The deadline-distribution slicing algorithm (paper Figure 1).
+
+:class:`DeadlineDistributor` implements the basic algorithm shared by BST
+and AST: repeatedly find the critical path among unassigned (computation
+and communication) subtasks, slice its end-to-end window into consecutive
+per-subtask windows according to the metric, propagate anchors to the
+path's unassigned neighbours, and repeat until every subtask has a window.
+
+The technique is selected by the metric / estimator combination:
+
+* BST  = :class:`~repro.core.metrics.PureLaxityRatio` or
+  :class:`~repro.core.metrics.NormalizedLaxityRatio`, either estimator;
+* AST  = :class:`~repro.core.metrics.ThresholdLaxityRatio` or
+  :class:`~repro.core.metrics.AdaptiveLaxityRatio` with
+  :class:`~repro.core.commcost.CCNE` (the paper designs AST around the
+  no-communication-cost assumption, its best BST finding).
+
+The convenience constructors :func:`bst` and :func:`ast` encode those
+pairings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set
+
+from repro.core.annotations import DeadlineAssignment, SliceRecord, Window
+from repro.core.commcost import CCNE, CommCostEstimator
+from repro.core.criticalpath import find_critical_path
+from repro.core.expanded import ExpandedGraph
+from repro.core.metrics import (
+    AdaptiveLaxityRatio,
+    MetricContext,
+    SlicingMetric,
+    make_metric,
+)
+from repro.errors import DistributionError
+from repro.graph.taskgraph import TaskGraph
+from repro.types import Time
+
+
+class DeadlineDistributor:
+    """Distribute end-to-end deadlines over subtasks before assignment.
+
+    Parameters
+    ----------
+    metric:
+        The laxity-ratio metric (critical-path objective and slack rule).
+    estimator:
+        Communication-cost estimation strategy; defaults to CCNE, the
+        paper's best-performing choice.
+    clamp_to_anchors:
+        The paper leaves the interaction between a sliced window and
+        anchors a node already holds (from earlier slices) unspecified.
+        When True (default), windows are clamped into the node's pending
+        anchors, which guarantees precedence-consistent windows:
+        ``deadline(pred) <= release(succ)`` on every arc. See DESIGN.md §5.
+
+    Over-constrained graphs
+    -----------------------
+    When an end-to-end budget cannot even hold its path's execution time
+    (negative slack), no window set can satisfy precedence consistency,
+    release anchors and deadline anchors simultaneously. The clamp resolves
+    the conflict in that priority order: windows stay precedence-consistent
+    and never release before their anchors, but collapsed (zero-width)
+    windows may then slide past a deadline anchor. Such assignments show up
+    as ``degenerate_windows`` on the result and as positive lateness in the
+    evaluation — they are measurements of infeasibility, not errors.
+    """
+
+    def __init__(
+        self,
+        metric: SlicingMetric,
+        estimator: Optional[CommCostEstimator] = None,
+        clamp_to_anchors: bool = True,
+    ) -> None:
+        self.metric = metric
+        self.estimator = estimator if estimator is not None else CCNE()
+        self.clamp_to_anchors = clamp_to_anchors
+
+    def distribute(
+        self,
+        graph: TaskGraph,
+        n_processors: Optional[int] = None,
+        total_capacity: Optional[float] = None,
+    ) -> DeadlineAssignment:
+        """Annotate ``graph`` with windows; returns the assignment.
+
+        ``n_processors`` is required by the ADAPT metric and recorded on
+        the result either way; ``total_capacity`` (the platform's speed
+        sum) additionally feeds the capacity-aware ADAPT variant on
+        heterogeneous platforms.
+        """
+        graph.validate()
+        expanded = ExpandedGraph(graph, self.estimator)
+        context = MetricContext(
+            graph=graph,
+            n_processors=n_processors,
+            total_capacity=total_capacity,
+        )
+        self.metric.prepare(expanded, context)
+
+        unassigned: Set[str] = set(expanded.nodes)
+        pending_release: Dict[str, Time] = dict(expanded.static_release)
+        pending_deadline: Dict[str, Time] = dict(expanded.static_deadline)
+        windows: Dict[str, Window] = {}
+        slices = []
+
+        while unassigned:
+            path = find_critical_path(
+                expanded, self.metric, unassigned, pending_release, pending_deadline
+            )
+            slices.append(
+                SliceRecord(
+                    nodes=path.nodes,
+                    ratio=path.ratio,
+                    release=path.release,
+                    deadline=path.deadline,
+                )
+            )
+            self._slice(expanded, path, pending_release, pending_deadline, windows)
+            for eid in path.nodes:
+                unassigned.discard(eid)
+            self._propagate_anchors(
+                expanded, path.nodes, unassigned,
+                pending_release, pending_deadline, windows,
+            )
+
+        return self._build_assignment(expanded, windows, slices, n_processors)
+
+    # ------------------------------------------------------------------
+    def _slice(
+        self,
+        expanded: ExpandedGraph,
+        path,
+        pending_release: Dict[str, Time],
+        pending_deadline: Dict[str, Time],
+        windows: Dict[str, Window],
+    ) -> None:
+        """Figure 1 step 4: consecutive windows along the critical path."""
+        ratio = path.ratio
+        clock = path.release
+        raw = []
+        for eid in path.nodes:
+            node = expanded.node(eid)
+            d = self.metric.relative_deadline(node, ratio)
+            raw.append((eid, clock, clock + d))
+            clock += d
+        # The metric's telescoping property lands the last deadline on the
+        # path's end-to-end deadline (up to float error).
+        if not math.isclose(clock, path.deadline, rel_tol=1e-9, abs_tol=1e-6):
+            raise DistributionError(
+                f"metric {self.metric.name} broke the telescoping property: "
+                f"path ends at {clock}, expected {path.deadline}"
+            )
+        prev_deadline = path.release
+        for eid, release, deadline in raw:
+            if self.clamp_to_anchors:
+                # Keep windows inside the node's pending anchors and after
+                # the (possibly clamped) predecessor window, so the edge
+                # invariant deadline(pred) <= release(succ) survives. An
+                # over-constrained node collapses to a zero-width window.
+                release = max(release, pending_release.get(eid, release), prev_deadline)
+                deadline = min(deadline, pending_deadline.get(eid, deadline))
+                deadline = max(deadline, release)
+                prev_deadline = deadline
+            windows[eid] = Window(
+                release=release,
+                absolute_deadline=deadline,
+                cost=expanded.node(eid).cost,
+            )
+
+    @staticmethod
+    def _propagate_anchors(
+        expanded: ExpandedGraph,
+        sliced_nodes,
+        unassigned: Set[str],
+        pending_release: Dict[str, Time],
+        pending_deadline: Dict[str, Time],
+        windows: Dict[str, Window],
+    ) -> None:
+        """Figure 1 steps 5–11 (following the prose; see DESIGN.md §5):
+        unassigned successors inherit a release anchor, unassigned
+        predecessors inherit a deadline anchor."""
+        for eid in sliced_nodes:
+            w = windows[eid]
+            for succ in expanded.successors(eid):
+                if succ in unassigned:
+                    current = pending_release.get(succ)
+                    if current is None or w.absolute_deadline > current:
+                        pending_release[succ] = w.absolute_deadline
+            for pred in expanded.predecessors(eid):
+                if pred in unassigned:
+                    current = pending_deadline.get(pred)
+                    if current is None or w.release < current:
+                        pending_deadline[pred] = w.release
+
+    def _build_assignment(
+        self,
+        expanded: ExpandedGraph,
+        windows: Dict[str, Window],
+        slices,
+        n_processors: Optional[int],
+    ) -> DeadlineAssignment:
+        task_windows = {}
+        message_windows = {}
+        for eid, window in windows.items():
+            node = expanded.node(eid)
+            if node.is_task:
+                task_windows[node.task_id] = window
+            else:
+                message_windows[node.edge] = window
+        return DeadlineAssignment(
+            graph=expanded.graph,
+            metric_name=self.metric.name,
+            comm_strategy_name=self.estimator.name,
+            windows=task_windows,
+            message_windows=message_windows,
+            slices=list(slices),
+            n_processors=n_processors,
+        )
+
+
+def bst(
+    metric: str = "PURE",
+    comm: str = "CCNE",
+    cost_per_item: Time = 1.0,
+    **metric_kwargs,
+) -> DeadlineDistributor:
+    """The Basic Slicing Technique: NORM or PURE with a named estimator."""
+    from repro.core.commcost import make_estimator
+
+    return DeadlineDistributor(
+        metric=make_metric(metric, **metric_kwargs),
+        estimator=make_estimator(comm, cost_per_item=cost_per_item),
+    )
+
+
+def ast(
+    metric: str = "ADAPT",
+    cost_per_item: Time = 1.0,
+    **metric_kwargs,
+) -> DeadlineDistributor:
+    """The Adaptive Slicing Technique: THRES or ADAPT over CCNE.
+
+    Remember to pass ``n_processors`` to :meth:`DeadlineDistributor.distribute`
+    when using ADAPT.
+    """
+    if metric.upper() not in ("THRES", "ADAPT"):
+        raise DistributionError(
+            f"AST uses the THRES or ADAPT metric, not {metric!r}"
+        )
+    return DeadlineDistributor(
+        metric=make_metric(metric, **metric_kwargs),
+        estimator=CCNE(cost_per_item=cost_per_item),
+    )

@@ -1,0 +1,91 @@
+"""FEAST-style experiment harness: configs, runner, statistics, tables."""
+
+from repro.feast.aggregate import (
+    PairedComparison,
+    Summary,
+    paired_comparison,
+    mean_end_to_end_lateness,
+    group_records,
+    improvement_over,
+    mean_max_lateness,
+    summarize,
+    summarize_by,
+)
+from repro.feast.config import (
+    PAPER_N_GRAPHS,
+    PAPER_SYSTEM_SIZES,
+    ExperimentConfig,
+    MethodSpec,
+)
+from repro.feast.experiments import EXPERIMENTS, build_experiment
+from repro.feast.persistence import (
+    SeriesDelta,
+    compare,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.feast.plots import lateness_plot, render_plot
+from repro.feast.sweep import run_experiments, sweep_field, sweep_grid
+from repro.feast.reporting import (
+    improvement_section,
+    lateness_section,
+    render_report,
+)
+from repro.feast.runner import (
+    ExperimentResult,
+    TrialRecord,
+    run_experiment,
+    run_trial,
+)
+from repro.feast.tables import (
+    end_to_end_panel,
+    lateness_panel,
+    lateness_report,
+    render_table,
+    series,
+    to_csv,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "summarize_by",
+    "group_records",
+    "mean_max_lateness",
+    "mean_end_to_end_lateness",
+    "improvement_over",
+    "PairedComparison",
+    "paired_comparison",
+    "ExperimentConfig",
+    "MethodSpec",
+    "PAPER_N_GRAPHS",
+    "PAPER_SYSTEM_SIZES",
+    "EXPERIMENTS",
+    "build_experiment",
+    "ExperimentResult",
+    "TrialRecord",
+    "run_experiment",
+    "run_trial",
+    "run_experiments",
+    "sweep_field",
+    "sweep_grid",
+    "render_report",
+    "lateness_section",
+    "improvement_section",
+    "lateness_panel",
+    "end_to_end_panel",
+    "lateness_report",
+    "render_table",
+    "series",
+    "to_csv",
+    "lateness_plot",
+    "render_plot",
+    "SeriesDelta",
+    "compare",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+    "result_from_dict",
+]

@@ -1,0 +1,201 @@
+"""Experiment configuration objects for the FEAST-style harness.
+
+The paper performed "all modeling and simulation … within FEAST, a
+framework for evaluation of allocation and scheduling techniques for
+distributed hard real-time systems". FEAST is not public; this package
+plays its role (see DESIGN.md §5).
+
+An :class:`ExperimentConfig` describes one full experiment: the workload
+generator settings, which execution-time scenarios to run, the platform
+sweep (system sizes, topology), the scheduling options, and the set of
+*methods* (deadline-distribution strategies) under comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Tuple
+
+from repro.core.commcost import make_estimator
+from repro.core.metrics import make_metric
+from repro.core.slicer import DeadlineDistributor
+from repro.errors import ExperimentError
+from repro.graph.generator import SCENARIOS, RandomGraphConfig
+from repro.machine.topology import TOPOLOGIES
+from repro.sched.policies import POLICIES
+
+#: The paper's system-size sweep: 2 to 16 processors.
+PAPER_SYSTEM_SIZES: Tuple[int, ...] = (2, 3, 4, 6, 8, 10, 12, 14, 16)
+
+#: The paper's trial count per parameter combination.
+PAPER_N_GRAPHS = 128
+
+
+def _uniform_speeds(n: int) -> Tuple[float, ...]:
+    return tuple(1.0 for _ in range(n))
+
+
+def _mixed_speeds(n: int) -> Tuple[float, ...]:
+    return tuple(2.0 if i % 2 else 1.0 for i in range(n))
+
+
+def _one_fast_speeds(n: int) -> Tuple[float, ...]:
+    return tuple(4.0 if i == 0 else 1.0 for i in range(n))
+
+
+#: Named processor-speed profiles (Section 8's heterogeneity axis).
+SPEED_PROFILES = {
+    "uniform": _uniform_speeds,
+    "mixed": _mixed_speeds,
+    "one-fast": _one_fast_speeds,
+}
+
+
+def speeds_for(profile: str, n_processors: int) -> Tuple[float, ...]:
+    """Processor speeds of a named profile on an ``n``-processor platform."""
+    try:
+        builder = SPEED_PROFILES[profile]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown speed profile {profile!r}; expected one of "
+            f"{sorted(SPEED_PROFILES)}"
+        ) from None
+    return builder(n_processors)
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One deadline-distribution strategy under evaluation.
+
+    ``label`` names the series in tables; ``metric`` and ``comm`` select
+    the laxity-ratio metric and communication-cost estimation strategy;
+    the remaining fields parameterize THRES/ADAPT.
+    """
+
+    label: str
+    metric: str
+    comm: str = "CCNE"
+    surplus: Optional[float] = None
+    threshold_factor: Optional[float] = None
+    cost_per_item: float = 1.0
+    #: When set, the method is a related-work baseline (``UD``, ``ED``,
+    #: ``EQS``, ``EQF``, ``DIV``) instead of a slicing metric; ``metric``
+    #: and ``comm`` are then ignored.
+    baseline: Optional[str] = None
+    #: ADAPT only: use the capacity-aware variant (divisor = speed sum).
+    capacity_aware: bool = False
+    #: Slicing only: clamp windows to pending anchors (DESIGN.md §5); the
+    #: False setting ablates the reproduction's clamping decision.
+    clamp_to_anchors: bool = True
+
+    def __post_init__(self) -> None:
+        if self.baseline is not None:
+            from repro.core.baselines import BASELINES
+
+            if self.baseline.upper() not in BASELINES:
+                raise ExperimentError(f"unknown baseline {self.baseline!r}")
+            return
+        if self.metric.upper() not in ("NORM", "PURE", "THRES", "ADAPT"):
+            raise ExperimentError(f"unknown metric {self.metric!r}")
+        if self.comm.upper() not in ("CCNE", "CCAA"):
+            raise ExperimentError(f"unknown comm strategy {self.comm!r}")
+
+    @property
+    def needs_system_size(self) -> bool:
+        """ADAPT's surplus depends on the processor count, so its
+        distribution cannot be reused across system sizes."""
+        return self.baseline is None and self.metric.upper() == "ADAPT"
+
+    def build(self):
+        """Instantiate the distributor this spec describes."""
+        if self.baseline is not None:
+            from repro.core.baselines import make_baseline
+
+            return make_baseline(self.baseline)
+        kwargs = {}
+        metric = self.metric.upper()
+        if metric in ("THRES", "ADAPT") and self.threshold_factor is not None:
+            kwargs["threshold_factor"] = self.threshold_factor
+        if metric == "THRES" and self.surplus is not None:
+            kwargs["surplus"] = self.surplus
+        if metric == "ADAPT" and self.capacity_aware:
+            kwargs["capacity_aware"] = True
+        return DeadlineDistributor(
+            metric=make_metric(metric, **kwargs),
+            estimator=make_estimator(self.comm, cost_per_item=self.cost_per_item),
+            clamp_to_anchors=self.clamp_to_anchors,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One complete experiment: workload × platform sweep × methods."""
+
+    name: str
+    description: str
+    methods: Tuple[MethodSpec, ...]
+    graph_config: RandomGraphConfig = RandomGraphConfig()
+    scenarios: Tuple[str, ...] = ("LDET", "MDET", "HDET")
+    n_graphs: int = PAPER_N_GRAPHS
+    seed: int = 2026
+    system_sizes: Tuple[int, ...] = PAPER_SYSTEM_SIZES
+    topology: str = "bus"
+    policy: str = "EDF"
+    respect_release_times: bool = False
+    #: Processor-speed profile: ``"uniform"`` (all 1.0, the paper's
+    #: homogeneous platform), ``"mixed"`` (alternating 1.0 / 2.0) or
+    #: ``"one-fast"`` (one 4.0 processor, rest 1.0). Section 8 names the
+    #: heterogeneous extension; these profiles realize it.
+    speed_profile: str = "uniform"
+    #: Optional custom workload source: ``factory(graph_config, rng)`` must
+    #: return a validated TaskGraph. ``None`` uses the random generator.
+    #: Used by the structured-graph and locality experiments.
+    graph_factory: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if not self.methods:
+            raise ExperimentError(f"experiment {self.name!r} has no methods")
+        labels = [m.label for m in self.methods]
+        if len(set(labels)) != len(labels):
+            raise ExperimentError(
+                f"experiment {self.name!r} has duplicate method labels: {labels}"
+            )
+        for scenario in self.scenarios:
+            if scenario not in SCENARIOS:
+                raise ExperimentError(
+                    f"unknown scenario {scenario!r}; expected one of "
+                    f"{sorted(SCENARIOS)}"
+                )
+        if self.n_graphs < 1:
+            raise ExperimentError("n_graphs must be >= 1")
+        if not self.system_sizes or min(self.system_sizes) < 1:
+            raise ExperimentError("system_sizes must be non-empty, all >= 1")
+        if self.topology not in TOPOLOGIES:
+            raise ExperimentError(
+                f"unknown topology {self.topology!r}; expected one of "
+                f"{sorted(TOPOLOGIES)}"
+            )
+        if self.policy.upper() not in POLICIES:
+            raise ExperimentError(
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{sorted(POLICIES)}"
+            )
+        if self.speed_profile not in SPEED_PROFILES:
+            raise ExperimentError(
+                f"unknown speed profile {self.speed_profile!r}; expected "
+                f"one of {sorted(SPEED_PROFILES)}"
+            )
+
+    def scaled(self, n_graphs: int) -> "ExperimentConfig":
+        """Copy with a different trial count (for quick runs / benches)."""
+        return replace(self, n_graphs=n_graphs)
+
+    @property
+    def n_trials(self) -> int:
+        """Total scheduling runs this experiment performs."""
+        return (
+            len(self.scenarios)
+            * len(self.system_sizes)
+            * len(self.methods)
+            * self.n_graphs
+        )

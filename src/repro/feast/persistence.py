@@ -1,0 +1,165 @@
+"""Persistence of experiment results: JSON save/load and run comparison.
+
+Full-scale experiments take minutes; their raw trial records are worth
+keeping. The on-disk format is a single JSON document with the config's
+identifying fields and one record object per trial, versioned so old runs
+stay readable. :func:`compare` diffs two runs of the same experiment —
+the regression-tracking primitive for "did my change move the curves?".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.feast.aggregate import mean_max_lateness
+from repro.feast.config import ExperimentConfig, MethodSpec
+from repro.feast.runner import ExperimentResult, TrialRecord
+
+FORMAT = "repro-experiment-result"
+VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Encode a result (config identity + all trial records)."""
+    config = result.config
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "config": {
+            "name": config.name,
+            "description": config.description,
+            "scenarios": list(config.scenarios),
+            "n_graphs": config.n_graphs,
+            "seed": config.seed,
+            "system_sizes": list(config.system_sizes),
+            "topology": config.topology,
+            "policy": config.policy,
+            "respect_release_times": config.respect_release_times,
+            "methods": [
+                {
+                    "label": m.label,
+                    "metric": m.metric,
+                    "comm": m.comm,
+                    "surplus": m.surplus,
+                    "threshold_factor": m.threshold_factor,
+                    "baseline": m.baseline,
+                }
+                for m in config.methods
+            ],
+        },
+        "elapsed_seconds": result.elapsed_seconds,
+        "records": [r.as_dict() for r in result.records],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Decode a result saved by :func:`result_to_dict`.
+
+    The reconstructed config carries the run's identity (name, methods,
+    sweep); custom ``graph_factory`` callables are not serializable and
+    come back as ``None`` — fine for analysis, not for re-running factory
+    experiments from the file alone.
+    """
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise SerializationError(f"not a {FORMAT} document")
+    if data.get("version") != VERSION:
+        raise SerializationError(
+            f"unsupported version {data.get('version')!r}"
+        )
+    try:
+        c = data["config"]
+        config = ExperimentConfig(
+            name=c["name"],
+            description=c["description"],
+            methods=tuple(
+                MethodSpec(
+                    label=m["label"],
+                    metric=m["metric"],
+                    comm=m["comm"],
+                    surplus=m["surplus"],
+                    threshold_factor=m["threshold_factor"],
+                    baseline=m.get("baseline"),
+                )
+                for m in c["methods"]
+            ),
+            scenarios=tuple(c["scenarios"]),
+            n_graphs=c["n_graphs"],
+            seed=c["seed"],
+            system_sizes=tuple(c["system_sizes"]),
+            topology=c["topology"],
+            policy=c["policy"],
+            respect_release_times=c["respect_release_times"],
+        )
+        records = [TrialRecord(**r) for r in data["records"]]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed result document: {exc}") from exc
+    result = ExperimentResult(config=config, records=records)
+    result.elapsed_seconds = float(data.get("elapsed_seconds", 0.0))
+    return result
+
+
+def save_result(result: ExperimentResult, path: str) -> None:
+    """Write a result to ``path`` as JSON."""
+    with open(path, "w") as fp:
+        json.dump(result_to_dict(result), fp)
+
+
+def load_result(path: str) -> ExperimentResult:
+    """Read a result written by :func:`save_result`."""
+    with open(path) as fp:
+        try:
+            data = json.load(fp)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid JSON in {path!r}: {exc}") from exc
+    return result_from_dict(data)
+
+
+@dataclass(frozen=True)
+class SeriesDelta:
+    """Change of one (scenario, method, size) mean between two runs."""
+
+    scenario: str
+    method: str
+    n_processors: int
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> float:
+        return self.delta / abs(self.before) if self.before else float("inf")
+
+
+def compare(
+    before: ExperimentResult,
+    after: ExperimentResult,
+    threshold: float = 0.0,
+) -> List[SeriesDelta]:
+    """Per-point differences of mean max lateness between two runs.
+
+    Returns the points present in both runs whose absolute change exceeds
+    ``threshold``, worst regressions (most positive delta) first.
+    """
+    means_before = mean_max_lateness(before.records)
+    means_after = mean_max_lateness(after.records)
+    deltas = [
+        SeriesDelta(
+            scenario=key[0],
+            method=key[1],
+            n_processors=key[2],
+            before=means_before[key],
+            after=means_after[key],
+        )
+        for key in means_before
+        if key in means_after
+    ]
+    return sorted(
+        (d for d in deltas if abs(d.delta) > threshold),
+        key=lambda d: -d.delta,
+    )

@@ -1,0 +1,140 @@
+"""ASCII line plots of experiment series.
+
+The paper presents its results as line plots (lateness vs system size, one
+curve per method). This module renders the same picture in plain text, so
+``repro run <figure> --plot`` reproduces not just the figures' data but
+their visual shape — crossovers and saturation are easier to see on a
+curve than in a table.
+
+No plotting dependencies: characters on a grid. Each method gets a marker;
+collisions show the later-drawn marker (the legend preserves identity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.feast.aggregate import mean_max_lateness
+from repro.feast.runner import ExperimentResult
+
+#: Markers cycled over methods.
+MARKERS = "ox+*#@%&"
+
+
+def render_plot(
+    curves: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    The y-axis is annotated on the left, the x-axis below; a legend maps
+    markers to series names.
+    """
+    if not curves:
+        raise ExperimentError("nothing to plot")
+    points = [p for series in curves.values() for p in series]
+    if not points:
+        raise ExperimentError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_hi, x_lo):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_hi, y_lo):
+        y_hi = y_lo + 1.0
+    # A little headroom so extreme points don't sit on the frame.
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+        return row, col
+
+    for index, (name, series) in enumerate(curves.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        ordered = sorted(series)
+        # Connect consecutive points with interpolated dots.
+        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:]):
+            steps = max(
+                2, abs(cell(x2, y2)[1] - cell(x1, y1)[1]) + 1
+            )
+            for k in range(steps + 1):
+                t = k / steps
+                row, col = cell(x1 + t * (x2 - x1), y1 + t * (y2 - y1))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in ordered:
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    label_width = max(
+        len(f"{y_hi:.1f}"), len(f"{y_lo:.1f}"), len(f"{(y_lo + y_hi) / 2:.1f}")
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:.1f}"
+        elif row_index == height - 1:
+            label = f"{y_lo:.1f}"
+        elif row_index == height // 2:
+            label = f"{(y_lo + y_hi) / 2:.1f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_lo:g}"
+    x_axis += " " * max(1, width - len(f"{x_lo:g}") - len(f"{x_hi:g}"))
+    x_axis += f"{x_hi:g}"
+    lines.append(" " * label_width + "  " + x_axis)
+    lines.append(
+        " " * label_width + "  " + f"{x_label}  |  " + "  ".join(
+            f"{MARKERS[i % len(MARKERS)]}={name}"
+            for i, name in enumerate(curves)
+        )
+    )
+    if y_label:
+        lines.insert(1 if title else 0, f"({y_label})")
+    return "\n".join(lines)
+
+
+def lateness_plot(
+    result: ExperimentResult,
+    scenario: str,
+    methods: Optional[Sequence[str]] = None,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """The paper-style plot of one scenario panel."""
+    config = result.config
+    labels = list(methods) if methods else [m.label for m in config.methods]
+    means = mean_max_lateness(result.filter(scenario=scenario))
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for label in labels:
+        series = [
+            (float(size), means[(scenario, label, size)])
+            for size in config.system_sizes
+            if (scenario, label, size) in means
+        ]
+        if series:
+            curves[label] = series
+    return render_plot(
+        curves,
+        width=width,
+        height=height,
+        title=f"[{config.name}] {scenario}: mean max task lateness vs size",
+        x_label="processors",
+        y_label="lateness",
+    )

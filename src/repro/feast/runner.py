@@ -1,0 +1,198 @@
+"""Experiment execution: generate → distribute → schedule → measure.
+
+:func:`run_experiment` executes an :class:`~repro.feast.config.ExperimentConfig`
+and returns an :class:`ExperimentResult` holding one :class:`TrialRecord`
+per (scenario, system size, method, graph). Graph generation is seeded per
+(scenario, index), so every method and system size sees the *same* graphs —
+the paired design behind the paper's per-panel comparisons.
+
+Deadline distributions that do not depend on the system size (everything
+except ADAPT) are computed once per (method, scenario, graph) and reused
+across the size sweep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.annotations import DeadlineAssignment
+from repro.feast.config import ExperimentConfig, MethodSpec, speeds_for
+from repro.graph.generator import generate_task_graphs
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.machine.topology import make_interconnect
+from repro.sched.analysis import ScheduleMetrics, schedule_metrics
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.policies import make_policy
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Measurements of one (scenario, size, method, graph) trial."""
+
+    experiment: str
+    scenario: str
+    n_processors: int
+    method: str
+    graph_index: int
+    max_lateness: float
+    mean_lateness: float
+    n_late: int
+    makespan: float
+    mean_utilization: float
+    min_laxity: float
+    #: Against the application's end-to-end anchors (strategy-independent).
+    max_end_to_end_lateness: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "scenario": self.scenario,
+            "n_processors": self.n_processors,
+            "method": self.method,
+            "graph_index": self.graph_index,
+            "max_lateness": self.max_lateness,
+            "mean_lateness": self.mean_lateness,
+            "n_late": self.n_late,
+            "makespan": self.makespan,
+            "mean_utilization": self.mean_utilization,
+            "min_laxity": self.min_laxity,
+            "max_end_to_end_lateness": self.max_end_to_end_lateness,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """All trial records of one experiment run, plus bookkeeping."""
+
+    config: ExperimentConfig
+    records: List[TrialRecord] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def filter(
+        self,
+        scenario: Optional[str] = None,
+        method: Optional[str] = None,
+        n_processors: Optional[int] = None,
+    ) -> List[TrialRecord]:
+        """Records matching all the given criteria."""
+        out = self.records
+        if scenario is not None:
+            out = [r for r in out if r.scenario == scenario]
+        if method is not None:
+            out = [r for r in out if r.method == method]
+        if n_processors is not None:
+            out = [r for r in out if r.n_processors == n_processors]
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: Optional progress hook: called with (done_trials, total_trials).
+ProgressFn = Callable[[int, int], None]
+
+
+def run_trial(
+    graph: TaskGraph,
+    assignment: DeadlineAssignment,
+    system: System,
+    policy_name: str = "EDF",
+    respect_release_times: bool = False,
+) -> ScheduleMetrics:
+    """Schedule one annotated graph and return its metrics."""
+    scheduler = ListScheduler(
+        system,
+        policy=make_policy(policy_name),
+        respect_release_times=respect_release_times,
+    )
+    schedule = scheduler.schedule(graph, assignment)
+    return schedule_metrics(schedule, assignment)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    progress: Optional[ProgressFn] = None,
+) -> ExperimentResult:
+    """Execute every trial of ``config``."""
+    started = time.perf_counter()
+    result = ExperimentResult(config=config)
+    total = config.n_trials
+    done = 0
+
+    for scenario in config.scenarios:
+        graph_config = config.graph_config.with_scenario(scenario)
+        if config.graph_factory is not None:
+            graphs = [
+                config.graph_factory(
+                    graph_config, random.Random(config.seed * 1_000_003 + i)
+                )
+                for i in range(config.n_graphs)
+            ]
+        else:
+            graphs = generate_task_graphs(
+                config.n_graphs, graph_config, seed=config.seed
+            )
+        # Distributions reusable across the size sweep (non-ADAPT methods).
+        reusable: Dict[Tuple[str, int], DeadlineAssignment] = {}
+        for n_processors in config.system_sizes:
+            speeds = speeds_for(config.speed_profile, n_processors)
+            system = System(
+                n_processors,
+                interconnect=make_interconnect(config.topology, n_processors),
+                speeds=speeds,
+            )
+            total_capacity = float(sum(speeds))
+            for method in config.methods:
+                distributor = method.build()
+                for index, graph in enumerate(graphs):
+                    key = (method.label, index)
+                    if method.needs_system_size:
+                        assignment = distributor.distribute(
+                            graph,
+                            n_processors=n_processors,
+                            total_capacity=total_capacity,
+                        )
+                    else:
+                        assignment = reusable.get(key)
+                        if assignment is None:
+                            assignment = distributor.distribute(
+                                graph,
+                                n_processors=n_processors,
+                                total_capacity=total_capacity,
+                            )
+                            reusable[key] = assignment
+                    metrics = run_trial(
+                        graph,
+                        assignment,
+                        system,
+                        policy_name=config.policy,
+                        respect_release_times=config.respect_release_times,
+                    )
+                    result.records.append(
+                        TrialRecord(
+                            experiment=config.name,
+                            scenario=scenario,
+                            n_processors=n_processors,
+                            method=method.label,
+                            graph_index=index,
+                            max_lateness=metrics.max_lateness,
+                            mean_lateness=metrics.mean_lateness,
+                            n_late=metrics.n_late,
+                            makespan=metrics.makespan,
+                            mean_utilization=metrics.mean_utilization,
+                            min_laxity=assignment.min_laxity(),
+                            max_end_to_end_lateness=(
+                                metrics.max_end_to_end_lateness
+                            ),
+                        )
+                    )
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

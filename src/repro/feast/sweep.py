@@ -1,0 +1,127 @@
+"""Parameter sweeps and parallel experiment execution.
+
+The canonical experiments (`repro.feast.experiments`) cover the paper;
+this module is for everything else one wants to ask the harness:
+
+* :func:`sweep_field` / :func:`sweep_grid` — derive families of
+  experiment configs by varying one field or a cartesian grid of fields
+  (both on the experiment config and on its nested graph config);
+* :func:`run_experiments` — execute a list of configs, optionally across
+  worker processes (one config per worker; configs with in-process
+  ``graph_factory`` closures are not picklable and force serial mode).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields, replace
+from multiprocessing import Pool
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.feast.config import ExperimentConfig
+from repro.feast.runner import ExperimentResult, run_experiment
+from repro.graph.generator import RandomGraphConfig
+
+#: Fields that live on the nested RandomGraphConfig rather than the
+#: experiment config itself.
+_GRAPH_FIELDS = {f.name for f in fields(RandomGraphConfig)}
+_CONFIG_FIELDS = {f.name for f in fields(ExperimentConfig)}
+
+
+def _apply(config: ExperimentConfig, name: str, value: Any) -> ExperimentConfig:
+    if name in _CONFIG_FIELDS:
+        return replace(config, **{name: value})
+    if name in _GRAPH_FIELDS:
+        return replace(
+            config, graph_config=replace(config.graph_config, **{name: value})
+        )
+    raise ExperimentError(
+        f"unknown sweep field {name!r}; not on ExperimentConfig or "
+        "RandomGraphConfig"
+    )
+
+
+def _suffix(name: str, value: Any) -> str:
+    text = str(value).replace(" ", "")
+    return f"{name}={text}"
+
+
+def sweep_field(
+    base: ExperimentConfig,
+    field_name: str,
+    values: Sequence[Any],
+) -> List[ExperimentConfig]:
+    """One config per value of ``field_name``.
+
+    The field may belong to the experiment config (e.g. ``topology``,
+    ``policy``) or to the nested graph config (e.g.
+    ``overall_laxity_ratio``, ``communication_to_computation_ratio``).
+    Derived configs get distinguishing names.
+    """
+    if not values:
+        raise ExperimentError("sweep needs at least one value")
+    out = []
+    for value in values:
+        derived = _apply(base, field_name, value)
+        out.append(
+            replace(derived, name=f"{base.name}-{_suffix(field_name, value)}")
+        )
+    return out
+
+
+def sweep_grid(
+    base: ExperimentConfig,
+    grid: Mapping[str, Sequence[Any]],
+) -> List[ExperimentConfig]:
+    """Cartesian product over several fields, one config per combination."""
+    if not grid:
+        raise ExperimentError("sweep grid is empty")
+    names = list(grid)
+    out = []
+    for combo in itertools.product(*(grid[n] for n in names)):
+        config = base
+        for name, value in zip(names, combo):
+            config = _apply(config, name, value)
+        suffix = "-".join(_suffix(n, v) for n, v in zip(names, combo))
+        out.append(replace(config, name=f"{base.name}-{suffix}"))
+    return out
+
+
+def run_experiments(
+    configs: Sequence[ExperimentConfig],
+    processes: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[ExperimentResult]:
+    """Run many experiments, optionally in parallel worker processes.
+
+    ``processes > 1`` distributes whole configs over a process pool;
+    results come back in input order. Configs carrying a
+    ``graph_factory`` (arbitrary closures) are not picklable, so their
+    presence falls back to serial execution. ``progress`` is called with
+    (completed configs, total) — per-trial progress is only available in
+    serial mode through :func:`repro.feast.runner.run_experiment`.
+    """
+    if processes < 1:
+        raise ExperimentError(f"processes must be >= 1, got {processes}")
+    configs = list(configs)
+    if not configs:
+        return []
+    parallel = processes > 1 and all(
+        c.graph_factory is None for c in configs
+    )
+    results: List[ExperimentResult] = []
+    if parallel:
+        with Pool(processes=min(processes, len(configs))) as pool:
+            for index, result in enumerate(
+                pool.imap(run_experiment, configs)
+            ):
+                results.append(result)
+                if progress is not None:
+                    progress(index + 1, len(configs))
+        return results
+    for index, config in enumerate(configs):
+        results.append(run_experiment(config))
+        if progress is not None:
+            progress(index + 1, len(configs))
+    return results

@@ -1,0 +1,97 @@
+"""Descriptive statistics of a task graph.
+
+The :class:`GraphStats` summary mirrors the workload parameters of the
+paper's Section 5.2 so generated workloads can be checked against their
+configuration, and so experiment reports can describe what was actually run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph import paths
+from repro.graph.taskgraph import TaskGraph
+from repro.types import Time
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Aggregate description of one task graph."""
+
+    n_subtasks: int
+    n_edges: int
+    n_inputs: int
+    n_outputs: int
+    n_pinned: int
+    depth: int
+    total_workload: Time
+    mean_execution_time: Time
+    min_execution_time: Time
+    max_execution_time: Time
+    longest_path_execution_time: Time
+    average_parallelism: float
+    total_message_volume: Time
+    mean_message_size: Time
+    communication_to_computation_ratio: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, convenient for tabulation."""
+        return {
+            "n_subtasks": self.n_subtasks,
+            "n_edges": self.n_edges,
+            "n_inputs": self.n_inputs,
+            "n_outputs": self.n_outputs,
+            "n_pinned": self.n_pinned,
+            "depth": self.depth,
+            "total_workload": self.total_workload,
+            "mean_execution_time": self.mean_execution_time,
+            "min_execution_time": self.min_execution_time,
+            "max_execution_time": self.max_execution_time,
+            "longest_path_execution_time": self.longest_path_execution_time,
+            "average_parallelism": self.average_parallelism,
+            "total_message_volume": self.total_message_volume,
+            "mean_message_size": self.mean_message_size,
+            "communication_to_computation_ratio": (
+                self.communication_to_computation_ratio
+            ),
+        }
+
+
+def graph_stats(graph: TaskGraph) -> GraphStats:
+    """Compute the :class:`GraphStats` of ``graph``."""
+    wcets: List[Time] = [s.wcet for s in graph.nodes()]
+    met = graph.mean_execution_time()
+    n_edges = graph.n_edges
+    mean_msg = graph.total_message_volume() / n_edges if n_edges else 0.0
+    return GraphStats(
+        n_subtasks=graph.n_subtasks,
+        n_edges=n_edges,
+        n_inputs=len(graph.input_subtasks()),
+        n_outputs=len(graph.output_subtasks()),
+        n_pinned=len(graph.pinned_subtasks()),
+        depth=paths.graph_depth(graph),
+        total_workload=graph.total_workload(),
+        mean_execution_time=met,
+        min_execution_time=min(wcets),
+        max_execution_time=max(wcets),
+        longest_path_execution_time=paths.longest_path_length(graph),
+        average_parallelism=paths.average_parallelism(graph),
+        total_message_volume=graph.total_message_volume(),
+        mean_message_size=mean_msg,
+        communication_to_computation_ratio=mean_msg / met if met else 0.0,
+    )
+
+
+def width_histogram(graph: TaskGraph) -> Dict[int, int]:
+    """Number of subtasks per level (1-based), a view of graph parallelism."""
+    levels = paths.level_of(graph)
+    hist: Dict[int, int] = {}
+    for lvl in levels.values():
+        hist[lvl] = hist.get(lvl, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def max_width(graph: TaskGraph) -> int:
+    """Maximum number of subtasks on any level."""
+    return max(width_histogram(graph).values())

@@ -1,0 +1,178 @@
+"""Generators for commonly-encountered task-graph structures.
+
+Section 8 of the paper names in-tree, out-tree and fork-join graphs as
+structures of interest beyond the random graphs of the main evaluation.
+These generators share the random generator's execution-time, message-size
+and deadline-anchoring conventions so they can be dropped into the same
+experiments (see ``repro.feast.experiments.ext_structured``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import GeneratorError
+from repro.graph.generator import (
+    RandomGraphConfig,
+    _anchor_deadlines,
+    _assign_message_sizes,
+    _draw_execution_time,
+)
+from repro.graph.taskgraph import TaskGraph
+
+
+def _finalize(
+    graph: TaskGraph, config: RandomGraphConfig, rng: random.Random
+) -> TaskGraph:
+    _assign_message_sizes(graph, config, rng)
+    _anchor_deadlines(graph, config)
+    graph.validate()
+    return graph
+
+
+def generate_out_tree(
+    depth: int,
+    branching: int = 2,
+    config: RandomGraphConfig = RandomGraphConfig(),
+    rng: Optional[random.Random] = None,
+) -> TaskGraph:
+    """A rooted tree with arcs pointing away from the root.
+
+    One input subtask (the root) fans out into ``branching`` children per
+    node for ``depth`` levels; every leaf is an output subtask.
+    """
+    if depth < 1:
+        raise GeneratorError("out-tree depth must be >= 1")
+    if branching < 1:
+        raise GeneratorError("out-tree branching must be >= 1")
+    rng = rng if rng is not None else random.Random()
+    graph = TaskGraph(name=f"out-tree-d{depth}-b{branching}")
+    graph.add_subtask("t000", wcet=_draw_execution_time(config, rng))
+    frontier = ["t000"]
+    counter = 1
+    for _ in range(depth - 1):
+        nxt: List[str] = []
+        for parent in frontier:
+            for _ in range(branching):
+                node = f"t{counter:03d}"
+                counter += 1
+                graph.add_subtask(node, wcet=_draw_execution_time(config, rng))
+                graph.add_edge(parent, node)
+                nxt.append(node)
+        frontier = nxt
+    return _finalize(graph, config, rng)
+
+
+def generate_in_tree(
+    depth: int,
+    branching: int = 2,
+    config: RandomGraphConfig = RandomGraphConfig(),
+    rng: Optional[random.Random] = None,
+) -> TaskGraph:
+    """A rooted tree with arcs pointing toward the root.
+
+    The mirror of :func:`generate_out_tree`: many input subtasks reduce
+    level by level into one output subtask.
+    """
+    if depth < 1:
+        raise GeneratorError("in-tree depth must be >= 1")
+    if branching < 1:
+        raise GeneratorError("in-tree branching must be >= 1")
+    rng = rng if rng is not None else random.Random()
+    graph = TaskGraph(name=f"in-tree-d{depth}-b{branching}")
+    # Build the leaf level first, then merge toward the root.
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        node = f"t{counter:03d}"
+        counter += 1
+        graph.add_subtask(node, wcet=_draw_execution_time(config, rng))
+        return node
+
+    frontier = [fresh() for _ in range(branching ** (depth - 1))]
+    while len(frontier) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(frontier), branching):
+            group = frontier[i : i + branching]
+            parent = fresh()
+            for child in group:
+                graph.add_edge(child, parent)
+            nxt.append(parent)
+        frontier = nxt
+    return _finalize(graph, config, rng)
+
+
+def generate_fork_join(
+    stages: int,
+    width: int,
+    config: RandomGraphConfig = RandomGraphConfig(),
+    rng: Optional[random.Random] = None,
+) -> TaskGraph:
+    """Alternating fork/join stages: fork → ``width`` parallel subtasks →
+    join, repeated ``stages`` times in series.
+    """
+    if stages < 1:
+        raise GeneratorError("fork-join stages must be >= 1")
+    if width < 1:
+        raise GeneratorError("fork-join width must be >= 1")
+    rng = rng if rng is not None else random.Random()
+    graph = TaskGraph(name=f"fork-join-s{stages}-w{width}")
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        node = f"t{counter:03d}"
+        counter += 1
+        graph.add_subtask(node, wcet=_draw_execution_time(config, rng))
+        return node
+
+    prev_join = fresh()
+    for _ in range(stages):
+        fork = prev_join
+        branches = [fresh() for _ in range(width)]
+        join = fresh()
+        for b in branches:
+            graph.add_edge(fork, b)
+            graph.add_edge(b, join)
+        prev_join = join
+    return _finalize(graph, config, rng)
+
+
+def generate_pipeline(
+    length: int,
+    config: RandomGraphConfig = RandomGraphConfig(),
+    rng: Optional[random.Random] = None,
+) -> TaskGraph:
+    """A pure chain of ``length`` subtasks (parallelism ξ = 1)."""
+    if length < 1:
+        raise GeneratorError("pipeline length must be >= 1")
+    rng = rng if rng is not None else random.Random()
+    graph = TaskGraph(name=f"pipeline-{length}")
+    prev: Optional[str] = None
+    for i in range(length):
+        node = f"t{i:03d}"
+        graph.add_subtask(node, wcet=_draw_execution_time(config, rng))
+        if prev is not None:
+            graph.add_edge(prev, node)
+        prev = node
+    return _finalize(graph, config, rng)
+
+
+def generate_diamond(
+    width: int,
+    config: RandomGraphConfig = RandomGraphConfig(),
+    rng: Optional[random.Random] = None,
+) -> TaskGraph:
+    """A single fork-join "diamond": source → ``width`` branches → sink."""
+    return generate_fork_join(1, width, config=config, rng=rng)
+
+
+#: Named structure presets used by the Section 8 structured-graph experiment.
+STRUCTURES: Dict[str, Callable[..., TaskGraph]] = {
+    "in-tree": generate_in_tree,
+    "out-tree": generate_out_tree,
+    "fork-join": generate_fork_join,
+    "pipeline": generate_pipeline,
+}

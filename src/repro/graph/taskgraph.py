@@ -1,0 +1,321 @@
+"""The directed-acyclic task graph (Section 3 of the paper).
+
+A :class:`TaskGraph` stores :class:`~repro.graph.node.Subtask` nodes and
+:class:`~repro.graph.node.Message`-annotated precedence arcs. It offers the
+structural queries every other layer needs: predecessors/successors,
+input/output subtasks, topological order, reachability, and workload sums.
+
+The graph is a plain mutable builder object; algorithms never mutate a graph
+they were handed — deadline distribution returns a separate
+:class:`~repro.core.annotations.DeadlineAssignment`, and scheduling returns a
+:class:`~repro.sched.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import (
+    CycleError,
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    UnknownNodeError,
+    ValidationError,
+)
+from repro.graph.node import Message, Subtask
+from repro.types import EdgeId, NodeId, ProcessorId, Time
+
+
+class TaskGraph:
+    """A DAG of subtasks with message-annotated precedence arcs.
+
+    Example
+    -------
+    >>> g = TaskGraph()
+    >>> g.add_subtask("a", wcet=10, release=0.0)
+    >>> g.add_subtask("b", wcet=20, end_to_end_deadline=100.0)
+    >>> g.add_edge("a", "b", message_size=5)
+    >>> g.predecessors("b")
+    ['a']
+    """
+
+    def __init__(self, name: str = "taskgraph") -> None:
+        self.name = name
+        self._nodes: Dict[NodeId, Subtask] = {}
+        self._messages: Dict[EdgeId, Message] = {}
+        self._succ: Dict[NodeId, List[NodeId]] = {}
+        self._pred: Dict[NodeId, List[NodeId]] = {}
+        self._topo_cache: Optional[List[NodeId]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_subtask(
+        self,
+        node_id: NodeId,
+        wcet: Time,
+        release: Optional[Time] = None,
+        end_to_end_deadline: Optional[Time] = None,
+        pinned_to: Optional[ProcessorId] = None,
+    ) -> Subtask:
+        """Add a subtask node and return it.
+
+        Raises :class:`DuplicateNodeError` if the id already exists.
+        """
+        if node_id in self._nodes:
+            raise DuplicateNodeError(f"subtask {node_id!r} already in graph")
+        node = Subtask(
+            node_id=node_id,
+            wcet=wcet,
+            release=release,
+            end_to_end_deadline=end_to_end_deadline,
+            pinned_to=pinned_to,
+        )
+        self._nodes[node_id] = node
+        self._succ[node_id] = []
+        self._pred[node_id] = []
+        self._topo_cache = None
+        return node
+
+    def add_edge(self, src: NodeId, dst: NodeId, message_size: Time = 0.0) -> Message:
+        """Add a precedence arc ``src -> dst`` carrying ``message_size`` data items.
+
+        Raises
+        ------
+        UnknownNodeError
+            If either endpoint has not been added.
+        DuplicateEdgeError
+            If the arc already exists.
+        ValidationError
+            If ``src == dst`` (self-loops are cycles by definition).
+        """
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            raise ValidationError(f"self-loop on {src!r} is not allowed")
+        edge = (src, dst)
+        if edge in self._messages:
+            raise DuplicateEdgeError(f"edge {src!r}->{dst!r} already in graph")
+        message = Message(src=src, dst=dst, size=message_size)
+        self._messages[edge] = message
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        self._topo_cache = None
+        return message
+
+    def _require(self, node_id: NodeId) -> None:
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"subtask {node_id!r} not in graph")
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    @property
+    def n_subtasks(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._messages)
+
+    def node(self, node_id: NodeId) -> Subtask:
+        self._require(node_id)
+        return self._nodes[node_id]
+
+    def nodes(self) -> List[Subtask]:
+        """All subtasks, in insertion order."""
+        return list(self._nodes.values())
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._nodes)
+
+    def message(self, src: NodeId, dst: NodeId) -> Message:
+        edge = (src, dst)
+        if edge not in self._messages:
+            raise UnknownNodeError(f"edge {src!r}->{dst!r} not in graph")
+        return self._messages[edge]
+
+    def messages(self) -> List[Message]:
+        return list(self._messages.values())
+
+    def edges(self) -> List[EdgeId]:
+        return list(self._messages)
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        return (src, dst) in self._messages
+
+    def successors(self, node_id: NodeId) -> List[NodeId]:
+        self._require(node_id)
+        return list(self._succ[node_id])
+
+    def predecessors(self, node_id: NodeId) -> List[NodeId]:
+        self._require(node_id)
+        return list(self._pred[node_id])
+
+    def in_degree(self, node_id: NodeId) -> int:
+        self._require(node_id)
+        return len(self._pred[node_id])
+
+    def out_degree(self, node_id: NodeId) -> int:
+        self._require(node_id)
+        return len(self._succ[node_id])
+
+    def input_subtasks(self) -> List[NodeId]:
+        """Nodes with no predecessors (paper: *input subtasks*)."""
+        return [n for n in self._nodes if not self._pred[n]]
+
+    def output_subtasks(self) -> List[NodeId]:
+        """Nodes with no successors (paper: *output subtasks*)."""
+        return [n for n in self._nodes if not self._succ[n]]
+
+    def pinned_subtasks(self) -> List[NodeId]:
+        """Nodes with strict locality constraints."""
+        return [n for n, s in self._nodes.items() if s.is_pinned]
+
+    # ------------------------------------------------------------------
+    # Order and reachability
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[NodeId]:
+        """Kahn topological order; raises :class:`CycleError` on cycles.
+
+        The order is deterministic: among simultaneously ready nodes,
+        insertion order is preserved.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        in_deg = {n: len(self._pred[n]) for n in self._nodes}
+        ready = [n for n in self._nodes if in_deg[n] == 0]
+        order: List[NodeId] = []
+        head = 0
+        while head < len(ready):
+            n = ready[head]
+            head += 1
+            order.append(n)
+            for s in self._succ[n]:
+                in_deg[s] -= 1
+                if in_deg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self._nodes):
+            self._raise_cycle(in_deg)
+        self._topo_cache = order
+        return list(order)
+
+    def _raise_cycle(self, in_deg: Dict[NodeId, int]) -> None:
+        """Find one concrete cycle among the nodes with residual in-degree."""
+        remaining = {n for n, d in in_deg.items() if d > 0}
+        start = next(iter(sorted(remaining)))
+        path: List[NodeId] = []
+        seen: Dict[NodeId, int] = {}
+        n = start
+        while n not in seen:
+            seen[n] = len(path)
+            path.append(n)
+            n = next(s for s in self._succ[n] if s in remaining)
+        cycle = path[seen[n]:] + [n]
+        raise CycleError(cycle)
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+        except CycleError:
+            return False
+        return True
+
+    def ancestors(self, node_id: NodeId) -> Set[NodeId]:
+        """All transitive predecessors of ``node_id`` (excluding itself)."""
+        self._require(node_id)
+        out: Set[NodeId] = set()
+        stack = list(self._pred[node_id])
+        while stack:
+            n = stack.pop()
+            if n not in out:
+                out.add(n)
+                stack.extend(self._pred[n])
+        return out
+
+    def descendants(self, node_id: NodeId) -> Set[NodeId]:
+        """All transitive successors of ``node_id`` (excluding itself)."""
+        self._require(node_id)
+        out: Set[NodeId] = set()
+        stack = list(self._succ[node_id])
+        while stack:
+            n = stack.pop()
+            if n not in out:
+                out.add(n)
+                stack.extend(self._succ[n])
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_workload(self) -> Time:
+        """Sum of all subtask execution times (the paper's "accumulated
+        task graph workload")."""
+        return sum(s.wcet for s in self._nodes.values())
+
+    def mean_execution_time(self) -> Time:
+        """Mean subtask execution time (the paper's MET)."""
+        if not self._nodes:
+            raise ValidationError("mean execution time of an empty graph")
+        return self.total_workload() / len(self._nodes)
+
+    def total_message_volume(self) -> Time:
+        """Sum of all message sizes."""
+        return sum(m.size for m in self._messages.values())
+
+    # ------------------------------------------------------------------
+    # Validation and copying
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the invariants an analysis-ready graph must satisfy.
+
+        * acyclic;
+        * at least one node;
+        * every input subtask has a release time;
+        * every output subtask has an end-to-end deadline.
+        """
+        if not self._nodes:
+            raise ValidationError("task graph is empty")
+        self.topological_order()  # raises CycleError if cyclic
+        for n in self.input_subtasks():
+            if self._nodes[n].release is None:
+                raise ValidationError(
+                    f"input subtask {n!r} has no release time; deadline "
+                    "distribution needs release anchors on all inputs"
+                )
+        for n in self.output_subtasks():
+            if self._nodes[n].end_to_end_deadline is None:
+                raise ValidationError(
+                    f"output subtask {n!r} has no end-to-end deadline; "
+                    "deadline distribution needs deadline anchors on all outputs"
+                )
+
+    def copy(self, name: Optional[str] = None) -> "TaskGraph":
+        """Deep-enough copy: nodes and messages are re-created."""
+        g = TaskGraph(name=name if name is not None else self.name)
+        for s in self._nodes.values():
+            g.add_subtask(
+                s.node_id,
+                wcet=s.wcet,
+                release=s.release,
+                end_to_end_deadline=s.end_to_end_deadline,
+                pinned_to=s.pinned_to,
+            )
+        for m in self._messages.values():
+            g.add_edge(m.src, m.dst, message_size=m.size)
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph(name={self.name!r}, subtasks={self.n_subtasks}, "
+            f"edges={self.n_edges})"
+        )

@@ -1,0 +1,34 @@
+"""Processor model.
+
+The paper's platform is a homogeneous multiprocessor; :class:`Processor`
+carries a ``speed`` factor anyway so the heterogeneous extension named in
+Section 8 is a configuration change, not a code change: a subtask with
+worst-case execution time ``c`` occupies a processor for ``c / speed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.types import ProcessorId, Time
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One processing element of the platform."""
+
+    proc_id: ProcessorId
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.proc_id < 0:
+            raise ValidationError(f"processor id must be >= 0, got {self.proc_id}")
+        if self.speed <= 0:
+            raise ValidationError(
+                f"processor {self.proc_id}: speed must be > 0, got {self.speed}"
+            )
+
+    def execution_time(self, wcet: Time) -> Time:
+        """Wall-clock occupancy of a subtask with worst-case time ``wcet``."""
+        return wcet / self.speed

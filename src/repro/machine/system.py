@@ -1,0 +1,76 @@
+"""The platform: processors plus interconnect (paper Section 5.1)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.machine.processor import Processor
+from repro.machine.topology import Interconnect, SharedBus
+from repro.types import ProcessorId, Time
+
+
+class System:
+    """A multiprocessor platform.
+
+    The default matches the paper: ``n`` homogeneous unit-speed processors
+    on a shared bus with one time unit per data item, free same-processor
+    communication, and communication concurrent with computation.
+
+    >>> system = System(4)
+    >>> system.n_processors
+    4
+    >>> system.interconnect.name
+    'bus'
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        interconnect: Optional[Interconnect] = None,
+        speeds: Optional[Sequence[float]] = None,
+    ) -> None:
+        if n_processors < 1:
+            raise ValidationError(f"n_processors must be >= 1, got {n_processors}")
+        if speeds is not None and len(speeds) != n_processors:
+            raise ValidationError(
+                f"got {len(speeds)} speeds for {n_processors} processors"
+            )
+        self.processors: List[Processor] = [
+            Processor(i, speed=speeds[i] if speeds is not None else 1.0)
+            for i in range(n_processors)
+        ]
+        self.interconnect: Interconnect = (
+            interconnect if interconnect is not None else SharedBus(n_processors)
+        )
+        if self.interconnect.n_processors != n_processors:
+            raise ValidationError(
+                f"interconnect sized for {self.interconnect.n_processors} "
+                f"processors, platform has {n_processors}"
+            )
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        speeds = {p.speed for p in self.processors}
+        return len(speeds) == 1
+
+    def processor(self, proc_id: ProcessorId) -> Processor:
+        if not 0 <= proc_id < self.n_processors:
+            raise ValidationError(
+                f"processor {proc_id} outside platform of size {self.n_processors}"
+            )
+        return self.processors[proc_id]
+
+    def execution_time(self, proc_id: ProcessorId, wcet: Time) -> Time:
+        """Wall-clock occupancy of a subtask on a given processor."""
+        return self.processor(proc_id).execution_time(wcet)
+
+    def __repr__(self) -> str:
+        return (
+            f"System(n_processors={self.n_processors}, "
+            f"interconnect={self.interconnect.name!r})"
+        )

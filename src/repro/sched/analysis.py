@@ -1,0 +1,130 @@
+"""Post-schedule analysis: lateness, laxity and schedule quality.
+
+The paper's headline performance measure is the **maximum task lateness**:
+the largest ``completion − absolute deadline`` over all subtasks of a
+schedule (non-positive for valid schedules; more negative = better). It is
+"an indicator on how far from infeasibility the schedule is and how much
+additional background workload the schedule can handle" (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.annotations import DeadlineAssignment
+from repro.errors import ValidationError
+from repro.sched.schedule import Schedule
+from repro.types import NodeId, Time
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary measures of one schedule against one deadline assignment."""
+
+    max_lateness: Time
+    mean_lateness: Time
+    n_late: int
+    n_subtasks: int
+    makespan: Time
+    mean_utilization: float
+    total_communication_volume: Time
+    max_message_lateness: Optional[Time]
+    #: Max lateness of output subtasks against the *application's*
+    #: end-to-end anchors — comparable across deadline-distribution
+    #: strategies, unlike :attr:`max_lateness`, which is measured against
+    #: each strategy's own distributed deadlines.
+    max_end_to_end_lateness: Time = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        """True when every subtask met its distributed deadline."""
+        return self.n_late == 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "max_lateness": self.max_lateness,
+            "mean_lateness": self.mean_lateness,
+            "n_late": self.n_late,
+            "n_subtasks": self.n_subtasks,
+            "makespan": self.makespan,
+            "mean_utilization": self.mean_utilization,
+            "total_communication_volume": self.total_communication_volume,
+            "max_message_lateness": (
+                self.max_message_lateness
+                if self.max_message_lateness is not None
+                else float("nan")
+            ),
+            "max_end_to_end_lateness": self.max_end_to_end_lateness,
+        }
+
+
+def lateness_by_subtask(
+    schedule: Schedule, assignment: DeadlineAssignment
+) -> Dict[NodeId, Time]:
+    """Per-subtask lateness: completion − distributed absolute deadline."""
+    return {
+        node_id: schedule.finish_time(node_id) - assignment.absolute_deadline(node_id)
+        for node_id in schedule.graph.node_ids()
+    }
+
+
+def max_lateness(schedule: Schedule, assignment: DeadlineAssignment) -> Time:
+    """The paper's performance metric: maximum subtask lateness."""
+    lateness = lateness_by_subtask(schedule, assignment)
+    if not lateness:
+        raise ValidationError("max lateness of an empty schedule")
+    return max(lateness.values())
+
+
+def message_lateness(
+    schedule: Schedule, assignment: DeadlineAssignment
+) -> Dict[tuple, Time]:
+    """Lateness of scheduled transfers against their distributed windows.
+
+    Only arcs that both received a window (non-negligible estimated cost)
+    and actually crossed processors appear.
+    """
+    out: Dict[tuple, Time] = {}
+    for edge, transfer in schedule.messages.items():
+        window = assignment.message_windows.get(edge)
+        if window is not None:
+            out[edge] = transfer.arrival - window.absolute_deadline
+    return out
+
+
+def end_to_end_lateness(schedule: Schedule) -> Dict[NodeId, Time]:
+    """Lateness of output subtasks against the *application* end-to-end
+    deadlines (independent of the distribution)."""
+    out: Dict[NodeId, Time] = {}
+    for node_id in schedule.graph.output_subtasks():
+        anchor = schedule.graph.node(node_id).end_to_end_deadline
+        if anchor is not None:
+            out[node_id] = schedule.finish_time(node_id) - anchor
+    return out
+
+
+def schedule_metrics(
+    schedule: Schedule, assignment: DeadlineAssignment
+) -> ScheduleMetrics:
+    """Compute the :class:`ScheduleMetrics` summary."""
+    lateness = lateness_by_subtask(schedule, assignment)
+    if not lateness:
+        raise ValidationError("metrics of an empty schedule")
+    values: List[Time] = list(lateness.values())
+    msg_lateness = message_lateness(schedule, assignment)
+    utilization = schedule.processor_utilization()
+    e2e = end_to_end_lateness(schedule)
+    return ScheduleMetrics(
+        max_lateness=max(values),
+        mean_lateness=sum(values) / len(values),
+        n_late=sum(1 for v in values if v > 1e-9),
+        n_subtasks=len(values),
+        makespan=schedule.makespan(),
+        mean_utilization=sum(utilization.values()) / len(utilization),
+        total_communication_volume=schedule.total_communication_volume(),
+        max_message_lateness=(
+            max(msg_lateness.values()) if msg_lateness else None
+        ),
+        max_end_to_end_lateness=max(e2e.values()) if e2e else 0.0,
+    )

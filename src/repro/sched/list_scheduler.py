@@ -1,0 +1,187 @@
+"""Deadline-driven list scheduling (paper Section 5.3).
+
+The task-assignment algorithm of the evaluation: a deadline-driven variant
+of the list scheduler of Lee, Hwang, Chow & Anger. At every step the
+scheduler
+
+1. picks, among *schedulable* subtasks (all predecessors scheduled), the one
+   with the highest priority — by default the earliest distributed absolute
+   deadline (EDF);
+2. places it on the processor yielding the earliest start time, taking
+   interprocessor message transfers (and their contention on the
+   interconnect) into account, under a non-preemptive time-driven run-time
+   model. Pinned subtasks (strict locality constraints) only consider their
+   pinned processor.
+
+Messages are reserved on the interconnect when their consumer is placed —
+i.e. in consumer-priority order, which under EDF realizes deadline-ordered
+message scheduling. Candidate processors are ranked by *probed* start times
+(no reservations); the chosen processor's transfers are then committed, so
+the final schedule is always consistent even when several transfers compete
+for the same link.
+
+``respect_release_times=True`` additionally delays every start to the
+subtask's distributed release time, turning the distributed windows into a
+time-triggered dispatch table. The default (``False``) is the greedy
+packing standard in the list-scheduling literature; the distribution then
+acts through the priority order and through the lateness measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.annotations import DeadlineAssignment
+from repro.core.pinning import validate_pins
+from repro.errors import SchedulingError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.sched.bus import LinkTimelines
+from repro.sched.policies import EarliestDeadlineFirst, SelectionPolicy
+from repro.sched.schedule import Schedule, ScheduledMessage, ScheduledTask
+from repro.types import NodeId, ProcessorId, Time
+
+
+class ListScheduler:
+    """Assign and schedule a deadline-annotated task graph on a system."""
+
+    def __init__(
+        self,
+        system: System,
+        policy: Optional[SelectionPolicy] = None,
+        respect_release_times: bool = False,
+    ) -> None:
+        self.system = system
+        self.policy = policy if policy is not None else EarliestDeadlineFirst()
+        self.respect_release_times = respect_release_times
+
+    def schedule(
+        self, graph: TaskGraph, assignment: DeadlineAssignment
+    ) -> Schedule:
+        """Produce a complete non-preemptive schedule.
+
+        ``assignment`` must cover every subtask of ``graph`` (it supplies
+        the EDF priorities and, optionally, release times).
+        """
+        validate_pins(graph, self.system.n_processors)
+        for node_id in graph.node_ids():
+            if node_id not in assignment.windows:
+                raise SchedulingError(
+                    f"deadline assignment misses subtask {node_id!r}; "
+                    "run deadline distribution first"
+                )
+
+        schedule = Schedule(graph, self.system)
+        links = LinkTimelines(self.system.interconnect)
+        proc_available: List[Time] = [0.0] * self.system.n_processors
+        pending_preds: Dict[NodeId, int] = {
+            n: graph.in_degree(n) for n in graph.node_ids()
+        }
+        ready: Set[NodeId] = {n for n, k in pending_preds.items() if k == 0}
+
+        while ready:
+            node_id = min(
+                ready, key=lambda n: (self.policy.key(n, graph, assignment), n)
+            )
+            ready.discard(node_id)
+            self._place(node_id, graph, assignment, schedule, links, proc_available)
+            for succ in graph.successors(node_id):
+                pending_preds[succ] -= 1
+                if pending_preds[succ] == 0:
+                    ready.add(succ)
+
+        if len(schedule.tasks) != graph.n_subtasks:
+            raise SchedulingError(
+                "scheduler finished with unplaced subtasks; "
+                "the task graph is corrupt"
+            )
+        return schedule
+
+    # ------------------------------------------------------------------
+    def _place(
+        self,
+        node_id: NodeId,
+        graph: TaskGraph,
+        assignment: DeadlineAssignment,
+        schedule: Schedule,
+        links: LinkTimelines,
+        proc_available: List[Time],
+    ) -> None:
+        sub = graph.node(node_id)
+        if sub.is_pinned:
+            candidates: List[ProcessorId] = [sub.pinned_to]  # type: ignore[list-item]
+        else:
+            candidates = list(range(self.system.n_processors))
+
+        floor = (
+            assignment.release(node_id) if self.respect_release_times else 0.0
+        )
+        best: Optional[Tuple[Time, ProcessorId]] = None
+        for proc in candidates:
+            start = self._probe_start(
+                node_id, proc, graph, schedule, links, proc_available, floor
+            )
+            if best is None or (start, proc) < best:
+                best = (start, proc)
+        assert best is not None
+        _, proc = best
+
+        arrivals = [floor, proc_available[proc]]
+        for pred in sorted(
+            graph.predecessors(node_id),
+            key=lambda p: (schedule.finish_time(p), p),
+        ):
+            finish = schedule.finish_time(pred)
+            pred_proc = schedule.processor_of(pred)
+            size = graph.message(pred, node_id).size
+            if pred_proc == proc or size <= 0:
+                arrivals.append(finish)
+                continue
+            hops = links.commit_transfer(pred_proc, proc, size, finish)
+            schedule.place_message(
+                ScheduledMessage(
+                    src=pred,
+                    dst=node_id,
+                    src_processor=pred_proc,
+                    dst_processor=proc,
+                    size=size,
+                    hops=tuple(hops),
+                )
+            )
+            arrivals.append(hops[-1].finish if hops else finish)
+
+        start = max(arrivals)
+        finish = start + self.system.execution_time(proc, sub.wcet)
+        schedule.place_task(
+            ScheduledTask(node_id=node_id, processor=proc, start=start, finish=finish)
+        )
+        proc_available[proc] = finish
+
+    def _probe_start(
+        self,
+        node_id: NodeId,
+        proc: ProcessorId,
+        graph: TaskGraph,
+        schedule: Schedule,
+        links: LinkTimelines,
+        proc_available: List[Time],
+        floor: Time,
+    ) -> Time:
+        """Estimated earliest start on ``proc`` without reserving links.
+
+        Transfers are probed independently, which can be optimistic when
+        several of this subtask's messages would share a link; the commit
+        path serializes them, so the schedule stays consistent either way.
+        """
+        start = max(floor, proc_available[proc])
+        for pred in graph.predecessors(node_id):
+            finish = schedule.finish_time(pred)
+            pred_proc = schedule.processor_of(pred)
+            size = graph.message(pred, node_id).size
+            if pred_proc == proc or size <= 0:
+                arrival = finish
+            else:
+                arrival = links.probe_transfer(pred_proc, proc, size, finish)
+            if arrival > start:
+                start = arrival
+        return start

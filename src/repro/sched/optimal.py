@@ -1,0 +1,314 @@
+"""Optimal task assignment by branch-and-bound (small graphs).
+
+The paper's Section 2 discusses Abdelzaher & Shin's branch-and-bound
+scheduler, which finds the assignment/schedule minimizing maximum task
+lateness "in acceptable time as long as the system workload is kept below
+a certain limit". This module provides that comparator: an exact
+branch-and-bound over (ready subtask, processor) decisions that minimizes
+the maximum lateness against a given deadline assignment.
+
+It is exact under the same run-time model as the list scheduler —
+non-preemptive, greedy start times, i.e. within the class of *non-delay*
+schedules (no deliberately inserted idle time; the class every list
+scheduler produces) — with a **contention-free** interconnect (every cross-processor message costs its full transfer
+latency, but links never queue). Contention-free keeps the search state
+undoable and the bound admissible; compare against heuristics on
+:class:`~repro.machine.topology.IdealNetwork` for an apples-to-apples
+optimality gap, or read the result on a bus platform as an optimistic
+bound.
+
+Search techniques: deadline-ordered branching (good incumbents early), an
+admissible completion-time bound (contention-free longest path from the
+scheduled frontier), processor-symmetry breaking (identical empty
+processors are interchangeable), and an initial incumbent from the list
+scheduler. The node budget makes worst cases fail loudly instead of
+hanging: ``proven_optimal`` reports whether the search completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.annotations import DeadlineAssignment
+from repro.core.pinning import validate_pins
+from repro.errors import SchedulingError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.machine.topology import IdealNetwork
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import (
+    HopReservation,
+    Schedule,
+    ScheduledMessage,
+    ScheduledTask,
+)
+from repro.types import NodeId, ProcessorId, Time
+
+#: Numerical slack for float comparisons.
+EPS = 1e-9
+
+
+@dataclass
+class OptimalResult:
+    """Outcome of one branch-and-bound search."""
+
+    schedule: Schedule
+    max_lateness: Time
+    nodes_explored: int
+    proven_optimal: bool
+
+
+class BranchAndBoundScheduler:
+    """Exact minimum-max-lateness scheduler for small annotated graphs."""
+
+    def __init__(
+        self,
+        system: System,
+        node_limit: int = 500_000,
+        max_subtasks: int = 16,
+    ) -> None:
+        if not isinstance(system.interconnect, IdealNetwork):
+            # Rebuild the platform with a contention-free network of the
+            # same per-item cost — the model the bound is admissible for.
+            system = System(
+                system.n_processors,
+                interconnect=IdealNetwork(
+                    system.n_processors,
+                    cost_per_item=system.interconnect.cost_per_item,
+                ),
+                speeds=[p.speed for p in system.processors],
+            )
+        self.system = system
+        self.node_limit = node_limit
+        self.max_subtasks = max_subtasks
+
+    def schedule(
+        self, graph: TaskGraph, assignment: DeadlineAssignment
+    ) -> OptimalResult:
+        """Search for the placement minimizing maximum task lateness."""
+        if graph.n_subtasks > self.max_subtasks:
+            raise SchedulingError(
+                f"branch-and-bound is exponential; {graph.n_subtasks} "
+                f"subtasks exceed the configured limit of {self.max_subtasks}"
+            )
+        validate_pins(graph, self.system.n_processors)
+        self._graph = graph
+        self._assignment = assignment
+        self._deadline = {
+            n: assignment.absolute_deadline(n) for n in graph.node_ids()
+        }
+        self._wcet = {n: graph.node(n).wcet for n in graph.node_ids()}
+        self._explored = 0
+        self._budget_exhausted = False
+
+        incumbent = ListScheduler(self.system).schedule(graph, assignment)
+        self._best_lateness = self._lateness_of(incumbent)
+        self._best_choices: Optional[List[Tuple[NodeId, ProcessorId]]] = None
+
+        pending = {n: graph.in_degree(n) for n in graph.node_ids()}
+        ready = sorted(n for n, k in pending.items() if k == 0)
+        self._dfs(
+            ready=ready,
+            pending=pending,
+            finish={},
+            placement={},
+            proc_avail=[0.0] * self.system.n_processors,
+            current_lateness=float("-inf"),
+            choices=[],
+        )
+
+        if self._best_choices is None:
+            schedule = incumbent
+        else:
+            schedule = self._replay(self._best_choices)
+        return OptimalResult(
+            schedule=schedule,
+            max_lateness=self._lateness_of(schedule),
+            nodes_explored=self._explored,
+            proven_optimal=not self._budget_exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    def _lateness_of(self, schedule: Schedule) -> Time:
+        return max(
+            schedule.finish_time(n) - self._deadline[n]
+            for n in self._graph.node_ids()
+        )
+
+    def _start_time(
+        self,
+        node_id: NodeId,
+        proc: ProcessorId,
+        finish: Dict[NodeId, Time],
+        placement: Dict[NodeId, ProcessorId],
+        proc_avail: List[Time],
+    ) -> Time:
+        start = proc_avail[proc]
+        for pred in self._graph.predecessors(node_id):
+            arrival = finish[pred]
+            size = self._graph.message(pred, node_id).size
+            if placement[pred] != proc and size > 0:
+                arrival += self.system.interconnect.hop_cost(size)
+            start = max(start, arrival)
+        return start
+
+    def _completion_bound(
+        self,
+        pending: Dict[NodeId, int],
+        finish: Dict[NodeId, Time],
+    ) -> Time:
+        """Admissible lateness bound for the unscheduled remainder.
+
+        Contention-free, communication-free earliest finishes propagated
+        from the already-fixed frontier — no placement can beat them.
+        """
+        bound = float("-inf")
+        est: Dict[NodeId, Time] = {}
+        for node_id in self._graph.topological_order():
+            if node_id in finish:
+                est[node_id] = finish[node_id]
+                continue
+            earliest = 0.0
+            for pred in self._graph.predecessors(node_id):
+                earliest = max(earliest, est[pred])
+            est[node_id] = earliest + self._wcet[node_id]
+            bound = max(bound, est[node_id] - self._deadline[node_id])
+        return bound
+
+    def _dfs(
+        self,
+        ready: List[NodeId],
+        pending: Dict[NodeId, int],
+        finish: Dict[NodeId, Time],
+        placement: Dict[NodeId, ProcessorId],
+        proc_avail: List[Time],
+        current_lateness: Time,
+        choices: List[Tuple[NodeId, ProcessorId]],
+    ) -> None:
+        if self._budget_exhausted:
+            return
+        self._explored += 1
+        if self._explored > self.node_limit:
+            self._budget_exhausted = True
+            return
+        if not ready:
+            if current_lateness < self._best_lateness - EPS:
+                self._best_lateness = current_lateness
+                self._best_choices = list(choices)
+            return
+        if current_lateness >= self._best_lateness - EPS:
+            return
+        if (
+            max(current_lateness, self._completion_bound(pending, finish))
+            >= self._best_lateness - EPS
+        ):
+            return
+
+        # Branch on ready subtasks in deadline order (incumbents early).
+        for node_id in sorted(
+            ready, key=lambda n: (self._deadline[n], n)
+        ):
+            node = self._graph.node(node_id)
+            if node.is_pinned:
+                candidates = [node.pinned_to]
+            else:
+                candidates = self._distinct_processors(proc_avail)
+            for proc in candidates:
+                start = self._start_time(
+                    node_id, proc, finish, placement, proc_avail
+                )
+                end = start + self.system.execution_time(proc, node.wcet)
+                lateness = max(
+                    current_lateness, end - self._deadline[node_id]
+                )
+                if lateness >= self._best_lateness - EPS:
+                    continue
+                # Apply.
+                finish[node_id] = end
+                placement[node_id] = proc
+                saved_avail = proc_avail[proc]
+                proc_avail[proc] = end
+                next_ready = [n for n in ready if n != node_id]
+                unlocked = []
+                for succ in self._graph.successors(node_id):
+                    pending[succ] -= 1
+                    if pending[succ] == 0:
+                        unlocked.append(succ)
+                next_ready.extend(unlocked)
+                choices.append((node_id, proc))
+
+                self._dfs(
+                    next_ready, pending, finish, placement,
+                    proc_avail, lateness, choices,
+                )
+
+                # Undo.
+                choices.pop()
+                for succ in self._graph.successors(node_id):
+                    pending[succ] += 1
+                proc_avail[proc] = saved_avail
+                del placement[node_id]
+                del finish[node_id]
+
+    def _distinct_processors(self, proc_avail: List[Time]) -> List[ProcessorId]:
+        """Symmetry breaking: identical-speed processors with identical
+        availability are interchangeable — try only the first of each
+        equivalence class."""
+        seen: Set[Tuple[float, float]] = set()
+        out: List[ProcessorId] = []
+        for proc in range(self.system.n_processors):
+            key = (proc_avail[proc], self.system.processor(proc).speed)
+            if key not in seen:
+                seen.add(key)
+                out.append(proc)
+        return out
+
+    def _replay(
+        self, choices: List[Tuple[NodeId, ProcessorId]]
+    ) -> Schedule:
+        """Materialize the winning decision sequence as a Schedule."""
+        schedule = Schedule(self._graph, self.system)
+        finish: Dict[NodeId, Time] = {}
+        placement: Dict[NodeId, ProcessorId] = {}
+        proc_avail = [0.0] * self.system.n_processors
+        for node_id, proc in choices:
+            start = self._start_time(
+                node_id, proc, finish, placement, proc_avail
+            )
+            for pred in self._graph.predecessors(node_id):
+                size = self._graph.message(pred, node_id).size
+                if placement[pred] != proc and size > 0:
+                    cost = self.system.interconnect.hop_cost(size)
+                    link = self.system.interconnect.route(
+                        placement[pred], proc
+                    )[0]
+                    schedule.place_message(
+                        ScheduledMessage(
+                            src=pred,
+                            dst=node_id,
+                            src_processor=placement[pred],
+                            dst_processor=proc,
+                            size=size,
+                            hops=(
+                                HopReservation(
+                                    link=link,
+                                    start=finish[pred],
+                                    finish=finish[pred] + cost,
+                                ),
+                            ),
+                        )
+                    )
+            end = start + self.system.execution_time(
+                proc, self._graph.node(node_id).wcet
+            )
+            schedule.place_task(
+                ScheduledTask(
+                    node_id=node_id, processor=proc, start=start, finish=end
+                )
+            )
+            finish[node_id] = end
+            placement[node_id] = proc
+            proc_avail[proc] = end
+        schedule.validate()
+        return schedule

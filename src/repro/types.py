@@ -1,0 +1,23 @@
+"""Shared type aliases used across the ``repro`` package.
+
+Keeping the aliases in one module gives the rest of the code a single
+vocabulary for the domain: node identifiers are strings, time is measured in
+abstract *time units* (the paper's bus moves one data item per time unit),
+and processors are small non-negative integers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Identifier of a computation subtask (a node of the task graph).
+NodeId = str
+
+#: Identifier of a precedence arc / message, as an ordered (src, dst) pair.
+EdgeId = Tuple[NodeId, NodeId]
+
+#: Abstract time unit used throughout (execution times, deadlines, lateness).
+Time = float
+
+#: Index of a processor in the platform, ``0 .. n_processors - 1``.
+ProcessorId = int

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import RandomGraphConfig, generate_task_graph
+from repro.graph.taskgraph import TaskGraph
+
+
+@pytest.fixture
+def chain_graph() -> TaskGraph:
+    """a -> b -> c, end-to-end deadline 100, messages of size 5."""
+    g = TaskGraph(name="chain")
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=20.0)
+    g.add_subtask("c", wcet=10.0, end_to_end_deadline=100.0)
+    g.add_edge("a", "b", message_size=5.0)
+    g.add_edge("b", "c", message_size=5.0)
+    return g
+
+
+@pytest.fixture
+def diamond_graph() -> TaskGraph:
+    """a fans out to b (long) and c (short), joining at d."""
+    g = TaskGraph(name="diamond")
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=40.0)
+    g.add_subtask("c", wcet=10.0)
+    g.add_subtask("d", wcet=10.0, end_to_end_deadline=200.0)
+    g.add_edge("a", "b", message_size=4.0)
+    g.add_edge("a", "c", message_size=4.0)
+    g.add_edge("b", "d", message_size=4.0)
+    g.add_edge("c", "d", message_size=4.0)
+    return g
+
+
+@pytest.fixture
+def random_graph() -> TaskGraph:
+    """One paper-config random graph, fixed seed."""
+    return generate_task_graph(RandomGraphConfig(), rng=random.Random(1234))
+
+
+@pytest.fixture
+def small_config() -> RandomGraphConfig:
+    """A small random-graph configuration for fast tests."""
+    return RandomGraphConfig(n_subtasks_range=(12, 18), depth_range=(4, 6))

@@ -1,0 +1,150 @@
+"""Adversarial and degenerate workloads: the pipeline must not fall over.
+
+Failure-injection style tests: extreme shapes, extreme values, and inputs
+crafted to hit boundary conditions in the distribution and scheduling
+algorithms. Every case must either complete with consistent artifacts or
+fail with the library's own typed errors — never with an unhandled
+exception or a corrupted result.
+"""
+
+import pytest
+
+from repro.core import ast, bst, validate_assignment
+from repro.graph import RandomGraphConfig, generate_task_graph
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.sched import ListScheduler, max_lateness, schedule_metrics
+from repro.sched.simulator import simulate_dynamic
+
+
+def run_pipeline(graph, n_processors=2):
+    assignment = bst("PURE", "CCNE").distribute(graph)
+    report = validate_assignment(assignment)
+    assert not report.missing_windows
+    schedule = ListScheduler(System(n_processors)).schedule(graph, assignment)
+    schedule.validate()
+    return assignment, schedule
+
+
+class TestDegenerateShapes:
+    def test_single_subtask(self):
+        g = TaskGraph()
+        g.add_subtask("only", wcet=5.0, release=0.0, end_to_end_deadline=10.0)
+        assignment, schedule = run_pipeline(g)
+        assert schedule.makespan() == 5.0
+        assert max_lateness(schedule, assignment) == pytest.approx(-5.0)
+
+    def test_fully_disconnected(self):
+        g = TaskGraph()
+        for i in range(20):
+            g.add_subtask(f"t{i}", wcet=5.0, release=0.0,
+                          end_to_end_deadline=100.0)
+        assignment, schedule = run_pipeline(g, n_processors=4)
+        assert schedule.makespan() == pytest.approx(25.0)
+
+    def test_very_deep_chain(self):
+        # 500 levels: the algorithms must be iterative, not recursive.
+        g = TaskGraph()
+        prev = None
+        for i in range(500):
+            g.add_subtask(f"n{i:03d}", wcet=1.0,
+                          release=0.0 if i == 0 else None,
+                          end_to_end_deadline=1000.0 if i == 499 else None)
+            if prev is not None:
+                g.add_edge(prev, f"n{i:03d}")
+            prev = f"n{i:03d}"
+        assignment, schedule = run_pipeline(g)
+        assert schedule.makespan() == pytest.approx(500.0)
+
+    def test_star_fan_out_in(self):
+        # One source feeding 100 siblings feeding one sink.
+        g = TaskGraph()
+        g.add_subtask("src", wcet=1.0, release=0.0)
+        g.add_subtask("sink", wcet=1.0, end_to_end_deadline=1000.0)
+        for i in range(100):
+            g.add_subtask(f"mid{i}", wcet=2.0)
+            g.add_edge("src", f"mid{i}", message_size=1.0)
+            g.add_edge(f"mid{i}", "sink", message_size=1.0)
+        assignment, schedule = run_pipeline(g, n_processors=8)
+        metrics = schedule_metrics(schedule, assignment)
+        assert metrics.n_subtasks == 102
+
+    def test_all_messages_zero_size(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1.0, release=0.0)
+        g.add_subtask("b", wcet=1.0)
+        g.add_subtask("c", wcet=1.0, end_to_end_deadline=100.0)
+        g.add_edge("a", "b", message_size=0.0)
+        g.add_edge("b", "c", message_size=0.0)
+        assignment, schedule = run_pipeline(g)
+        # Pure precedence: even CCAA would materialize nothing.
+        ccaa = bst("PURE", "CCAA").distribute(g)
+        assert ccaa.message_windows == {}
+
+
+class TestExtremeValues:
+    def test_huge_execution_times(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1e12, release=0.0)
+        g.add_subtask("b", wcet=1e12, end_to_end_deadline=5e12)
+        g.add_edge("a", "b")
+        assignment, schedule = run_pipeline(g)
+        assert schedule.makespan() == pytest.approx(2e12)
+
+    def test_tiny_execution_times(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1e-9, release=0.0)
+        g.add_subtask("b", wcet=1e-9, end_to_end_deadline=1e-6)
+        g.add_edge("a", "b")
+        assignment, schedule = run_pipeline(g)
+        assert max_lateness(schedule, assignment) < 0
+
+    def test_wildly_mixed_magnitudes(self):
+        g = TaskGraph()
+        g.add_subtask("fly", wcet=1e-6, release=0.0)
+        g.add_subtask("whale", wcet=1e6)
+        g.add_subtask("out", wcet=1.0, end_to_end_deadline=3e6)
+        g.add_edge("fly", "whale")
+        g.add_edge("whale", "out")
+        run_pipeline(g)
+
+    def test_zero_deadline_budget(self):
+        # End-to-end deadline equal to the release: everything is late,
+        # nothing crashes.
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0, end_to_end_deadline=0.0)
+        assignment = bst("PURE", "CCNE").distribute(g)
+        schedule = ListScheduler(System(1)).schedule(g, assignment)
+        assert max_lateness(schedule, assignment) == pytest.approx(10.0)
+
+    def test_identical_everything_is_deterministic(self):
+        # Full symmetry: equal costs, equal deadlines — determinism must
+        # come from tie-breaking, and repeated runs must agree.
+        def build():
+            g = TaskGraph()
+            for i in range(6):
+                g.add_subtask(f"t{i}", wcet=10.0, release=0.0,
+                              end_to_end_deadline=100.0)
+            return g
+
+        a1, s1 = run_pipeline(build(), n_processors=3)
+        a2, s2 = run_pipeline(build(), n_processors=3)
+        assert {n: s1.processor_of(n) for n in s1.tasks} == {
+            n: s2.processor_of(n) for n in s2.tasks
+        }
+
+
+class TestScaleSmoke:
+    def test_large_random_graph_end_to_end(self):
+        config = RandomGraphConfig(
+            n_subtasks_range=(400, 400), depth_range=(20, 25)
+        )
+        import random
+
+        g = generate_task_graph(config, rng=random.Random(0))
+        assignment = ast("ADAPT").distribute(g, n_processors=8)
+        assert len(assignment.windows) == 400
+        schedule = ListScheduler(System(8)).schedule(g, assignment)
+        schedule.validate()
+        trace = simulate_dynamic(g, assignment, System(8))
+        assert len(trace.completions) == 400

@@ -1,0 +1,123 @@
+"""Statistical aggregation over trial records."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.feast.aggregate import (
+    group_records,
+    improvement_over,
+    mean_max_lateness,
+    summarize,
+    summarize_by,
+)
+from repro.feast.runner import TrialRecord
+
+
+def record(method="A", scenario="MDET", size=2, lateness=-10.0, index=0):
+    return TrialRecord(
+        experiment="e",
+        scenario=scenario,
+        n_processors=size,
+        method=method,
+        graph_index=index,
+        max_lateness=lateness,
+        mean_lateness=lateness / 2,
+        n_late=0,
+        makespan=100.0,
+        mean_utilization=0.5,
+        min_laxity=5.0,
+    )
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(math.sqrt(5.0 / 3.0))
+
+    def test_ci_contains_mean(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        lo, hi = s.ci95
+        assert lo < s.mean < hi
+        # t(3) = 3.182
+        assert s.ci95_half_width == pytest.approx(
+            3.182 * s.std / 2.0, rel=1e-3
+        )
+
+    def test_single_sample(self):
+        s = summarize([7.0])
+        assert s.mean == 7.0
+        assert s.std == 0.0
+        assert math.isnan(s.ci95_half_width)
+
+    def test_large_sample_uses_normal_quantile(self):
+        s = summarize(list(range(200)))
+        assert s.ci95_half_width == pytest.approx(
+            1.96 * s.std / math.sqrt(200), rel=1e-2
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+
+class TestGrouping:
+    def test_group_records(self):
+        records = [record(method="A"), record(method="B"), record(method="A")]
+        groups = group_records(records, key=lambda r: (r.method,))
+        assert {k: len(v) for k, v in groups.items()} == {("A",): 2, ("B",): 1}
+
+    def test_summarize_by(self):
+        records = [
+            record(method="A", lateness=-10.0),
+            record(method="A", lateness=-20.0),
+            record(method="B", lateness=-5.0),
+        ]
+        out = summarize_by(records, key=lambda r: (r.method,))
+        assert out[("A",)].mean == -15.0
+        assert out[("B",)].mean == -5.0
+
+    def test_mean_max_lateness_keys(self):
+        records = [
+            record(method="A", scenario="LDET", size=2, lateness=-10.0),
+            record(method="A", scenario="LDET", size=2, lateness=-30.0),
+            record(method="A", scenario="LDET", size=4, lateness=-50.0),
+        ]
+        means = mean_max_lateness(records)
+        assert means[("LDET", "A", 2)] == -20.0
+        assert means[("LDET", "A", 4)] == -50.0
+
+
+class TestImprovement:
+    def test_positive_when_method_beats_baseline(self):
+        records = [
+            record(method="PURE", lateness=-100.0, index=0),
+            record(method="ADAPT", lateness=-150.0, index=0),
+        ]
+        imp = improvement_over(records, "PURE")
+        assert imp[("MDET", "ADAPT", 2)] == pytest.approx(0.5)
+
+    def test_negative_when_method_worse(self):
+        records = [
+            record(method="PURE", lateness=-100.0),
+            record(method="ADAPT", lateness=-80.0),
+        ]
+        imp = improvement_over(records, "PURE")
+        assert imp[("MDET", "ADAPT", 2)] == pytest.approx(-0.2)
+
+    def test_baseline_not_reported(self):
+        records = [
+            record(method="PURE", lateness=-100.0),
+            record(method="ADAPT", lateness=-80.0),
+        ]
+        imp = improvement_over(records, "PURE")
+        assert ("MDET", "PURE", 2) not in imp
+
+    def test_missing_baseline_skipped(self):
+        records = [record(method="ADAPT", lateness=-80.0)]
+        assert improvement_over(records, "PURE") == {}

@@ -1,0 +1,129 @@
+"""Related-work deadline-assignment baselines."""
+
+import pytest
+
+from repro.core.baselines import (
+    BASELINES,
+    EffectiveDeadline,
+    EqualFlexibility,
+    EqualSlack,
+    EvenFlexibility,
+    UltimateDeadline,
+    make_baseline,
+)
+from repro.errors import DistributionError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.sched.list_scheduler import ListScheduler
+
+
+@pytest.fixture
+def chain():
+    """a(10) -> b(20) -> c(10), release 0, end-to-end deadline 100."""
+    g = TaskGraph()
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=20.0)
+    g.add_subtask("c", wcet=10.0, end_to_end_deadline=100.0)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestUltimateDeadline:
+    def test_all_deadlines_tightened_for_consistency(self, chain):
+        # Raw UD gives every node deadline 100; the consistency pass pulls
+        # interior deadlines to deadline(succ) - c(succ).
+        a = UltimateDeadline().distribute(chain)
+        assert a.absolute_deadline("c") == 100.0
+        assert a.absolute_deadline("b") == 90.0   # 100 - c(c)
+        assert a.absolute_deadline("a") == 70.0   # 90 - c(b)
+        assert a.metric_name == "UD"
+
+    def test_releases_are_earliest_starts(self, chain):
+        a = UltimateDeadline().distribute(chain)
+        assert a.release("a") == 0.0
+        assert a.release("b") == 10.0
+        assert a.release("c") == 30.0
+
+
+class TestEffectiveDeadline:
+    def test_subtracts_downstream_work(self, chain):
+        a = EffectiveDeadline().distribute(chain)
+        assert a.absolute_deadline("c") == 100.0
+        assert a.absolute_deadline("b") == 90.0   # 100 - c(c)
+        assert a.absolute_deadline("a") == 70.0   # 100 - (c(b) + c(c))
+
+
+class TestEqualSlack:
+    def test_chain_recomputes_slack_per_stage(self, chain):
+        # Classical EQS: each stage sees the slack from its own earliest
+        # arrival and keeps an equal share of it. Stage b arrives at 10
+        # (not at a's deadline 30), sees slack 60, keeps half.
+        a = EqualSlack().distribute(chain)
+        assert a.absolute_deadline("a") == pytest.approx(30.0)   # 10 + 60/3
+        assert a.absolute_deadline("b") == pytest.approx(60.0)   # 30 + 60/2
+        assert a.absolute_deadline("c") == pytest.approx(100.0)  # 40 + 60
+
+
+class TestEqualFlexibility:
+    def test_chain_proportional_to_remaining_work(self, chain):
+        # EQF: each stage keeps slack * c_i / (remaining work incl. self),
+        # recomputed from its earliest arrival.
+        a = EqualFlexibility().distribute(chain)
+        assert a.absolute_deadline("a") == pytest.approx(25.0)   # 10 + 60*10/40
+        assert a.absolute_deadline("b") == pytest.approx(70.0)   # 30 + 60*20/30
+        assert a.absolute_deadline("c") == pytest.approx(100.0)  # 40 + 60*10/10
+
+
+class TestEvenFlexibility:
+    def test_chain_divides_window_evenly(self, chain):
+        # DIV ignores execution times: thirds of [0, 100].
+        a = EvenFlexibility().distribute(chain)
+        assert a.absolute_deadline("a") == pytest.approx(100.0 / 3)
+        assert a.absolute_deadline("b") == pytest.approx(200.0 / 3)
+        assert a.absolute_deadline("c") == pytest.approx(100.0)
+
+
+class TestOnDags:
+    def test_binding_output_is_the_tightest(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0)
+        g.add_subtask("tight", wcet=10.0, end_to_end_deadline=40.0)
+        g.add_subtask("loose", wcet=10.0, end_to_end_deadline=400.0)
+        g.add_edge("a", "tight")
+        g.add_edge("a", "loose")
+        a = EffectiveDeadline().distribute(g)
+        # a's binding output is 'tight': 40 - 10 = 30.
+        assert a.absolute_deadline("a") == pytest.approx(30.0)
+
+    def test_deadline_consistency_on_random_graph(self, random_graph):
+        for name in BASELINES:
+            a = make_baseline(name).distribute(random_graph)
+            for src, dst in random_graph.edges():
+                assert (
+                    a.absolute_deadline(src)
+                    <= a.absolute_deadline(dst)
+                    - random_graph.node(dst).wcet + 1e-6
+                ), (name, src, dst)
+
+    def test_schedulable_end_to_end(self, random_graph):
+        for name in BASELINES:
+            a = make_baseline(name).distribute(random_graph)
+            schedule = ListScheduler(System(4)).schedule(random_graph, a)
+            schedule.validate()
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in BASELINES:
+            assert make_baseline(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(DistributionError):
+            make_baseline("XYZ")
+
+    def test_requires_valid_graph(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1.0)  # no anchors
+        with pytest.raises(Exception):
+            make_baseline("UD").distribute(g)

@@ -1,0 +1,122 @@
+"""Link timelines: slot search, reservation, probe vs commit."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.machine.topology import IdealNetwork, Ring, SharedBus
+from repro.sched.bus import LinkTimeline, LinkTimelines
+
+
+class TestLinkTimeline:
+    def test_empty_timeline_starts_at_ready(self):
+        assert LinkTimeline().earliest_slot(5.0, 3.0) == 5.0
+
+    def test_slot_after_busy_interval(self):
+        tl = LinkTimeline()
+        tl.reserve(0.0, 10.0)
+        assert tl.earliest_slot(0.0, 3.0) == 10.0
+
+    def test_gap_between_reservations_used(self):
+        tl = LinkTimeline()
+        tl.reserve(0.0, 5.0)
+        tl.reserve(10.0, 5.0)
+        assert tl.earliest_slot(0.0, 4.0) == 5.0
+        assert tl.earliest_slot(0.0, 6.0) == 15.0  # gap too small
+
+    def test_ready_inside_busy_interval(self):
+        tl = LinkTimeline()
+        tl.reserve(0.0, 10.0)
+        assert tl.earliest_slot(4.0, 2.0) == 10.0
+
+    def test_ready_inside_gap(self):
+        tl = LinkTimeline()
+        tl.reserve(0.0, 5.0)
+        tl.reserve(20.0, 5.0)
+        assert tl.earliest_slot(7.0, 3.0) == 7.0
+
+    def test_overlapping_reserve_rejected(self):
+        tl = LinkTimeline()
+        tl.reserve(0.0, 10.0)
+        with pytest.raises(SchedulingError):
+            tl.reserve(5.0, 3.0)
+
+    def test_adjacent_reservations_ok(self):
+        tl = LinkTimeline()
+        tl.reserve(0.0, 10.0)
+        tl.reserve(10.0, 5.0)  # touching is fine
+        assert tl.busy_time() == 15.0
+
+    def test_zero_duration_noop(self):
+        tl = LinkTimeline()
+        tl.reserve(3.0, 0.0)
+        assert tl.reservations() == []
+        assert tl.earliest_slot(3.0, 0.0) == 3.0
+
+
+class TestLinkTimelinesOnBus:
+    def test_probe_does_not_reserve(self):
+        links = LinkTimelines(SharedBus(4))
+        a = links.probe_transfer(0, 1, 5.0, 0.0)
+        b = links.probe_transfer(0, 1, 5.0, 0.0)
+        assert a == b == 5.0
+
+    def test_commit_serializes(self):
+        links = LinkTimelines(SharedBus(4))
+        first = links.commit_transfer(0, 1, 5.0, 0.0)
+        second = links.commit_transfer(2, 3, 5.0, 0.0)
+        assert first[0].start == 0.0 and first[0].finish == 5.0
+        assert second[0].start == 5.0 and second[0].finish == 10.0
+
+    def test_same_processor_free(self):
+        links = LinkTimelines(SharedBus(4))
+        assert links.probe_transfer(1, 1, 99.0, 7.0) == 7.0
+        assert links.commit_transfer(1, 1, 99.0, 7.0) == []
+
+    def test_zero_size_free(self):
+        links = LinkTimelines(SharedBus(4))
+        assert links.commit_transfer(0, 1, 0.0, 7.0) == []
+
+    def test_busy_time_accounting(self):
+        links = LinkTimelines(SharedBus(4))
+        links.commit_transfer(0, 1, 5.0, 0.0)
+        links.commit_transfer(1, 2, 3.0, 0.0)
+        assert links.busy_time() == {"bus": 8.0}
+
+
+class TestMultiHop:
+    def test_store_and_forward_on_ring(self):
+        links = LinkTimelines(Ring(6))
+        hops = links.commit_transfer(0, 2, 4.0, 0.0)
+        assert [h.link for h in hops] == ["ring(0,1)", "ring(1,2)"]
+        assert hops[0].start == 0.0 and hops[0].finish == 4.0
+        assert hops[1].start == 4.0 and hops[1].finish == 8.0
+
+    def test_gap_before_shared_hop_reservation_used(self):
+        links = LinkTimelines(Ring(6))
+        links.commit_transfer(0, 2, 4.0, 0.0)  # ring(0,1)@[0,4], ring(1,2)@[4,8]
+        hops = links.commit_transfer(1, 2, 4.0, 0.0)
+        # The direct transfer fits in the idle window before the relayed hop.
+        assert hops[0].link == "ring(1,2)"
+        assert hops[0].start == 0.0
+
+    def test_second_transfer_waits_for_shared_hop(self):
+        links = LinkTimelines(Ring(6))
+        links.commit_transfer(0, 2, 4.0, 0.0)  # ring(1,2) busy over [4,8]
+        hops = links.commit_transfer(1, 2, 4.0, 2.0)
+        # Ready at 2, the remaining gap [2,4) is too small: wait until 8.
+        assert hops[0].start == 8.0
+
+    def test_probe_matches_commit_when_uncontested(self):
+        links = LinkTimelines(Ring(6))
+        probed = links.probe_transfer(0, 3, 2.0, 1.0)
+        hops = links.commit_transfer(0, 3, 2.0, 1.0)
+        assert probed == hops[-1].finish == 7.0
+
+
+class TestIdeal:
+    def test_no_contention(self):
+        links = LinkTimelines(IdealNetwork(4))
+        a = links.commit_transfer(0, 1, 5.0, 0.0)
+        b = links.commit_transfer(2, 1, 5.0, 0.0)
+        assert a[0].start == b[0].start == 0.0
+        assert links.probe_transfer(0, 1, 5.0, 10.0) == 15.0

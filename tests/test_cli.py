@@ -1,0 +1,136 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "figure5"])
+        assert args.experiment == "figure5"
+        assert args.graphs is None
+
+    def test_run_sizes_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "figure2", "--sizes", "2,4,8"]
+        )
+        assert args.sizes == [2, 4, 8]
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure2", "--sizes", "2,x"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out and "ext-topology" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--processors", "2", "--metric", "PURE"]) == 0
+        out = capsys.readouterr().out
+        assert "workload:" in out
+        assert "max lateness=" in out
+        assert "P00 |" in out
+
+    def test_demo_adapt_with_dot(self, tmp_path, capsys):
+        dot = tmp_path / "g.dot"
+        assert main([
+            "demo", "--processors", "2", "--metric", "ADAPT",
+            "--dot", str(dot),
+        ]) == 0
+        assert dot.read_text().startswith("digraph")
+
+    def test_demo_with_svg(self, tmp_path, capsys):
+        svg = tmp_path / "g.svg"
+        assert main([
+            "demo", "--processors", "2", "--metric", "THRES",
+            "--svg", str(svg),
+        ]) == 0
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(svg.read_text())
+        assert root.tag.endswith("svg")
+
+    @pytest.mark.parametrize("metric", ["NORM", "PURE", "THRES", "ADAPT"])
+    def test_demo_all_metrics(self, metric, capsys):
+        assert main(["demo", "--processors", "2", "--metric", metric]) == 0
+        assert "max lateness=" in capsys.readouterr().out
+
+    def test_run_tiny(self, capsys, tmp_path):
+        csv = tmp_path / "out.csv"
+        code = main([
+            "run", "figure5", "--graphs", "2", "--sizes", "2",
+            "--quiet", "--csv", str(csv),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario LDET" in out
+        assert "PURE" in out and "ADAPT" in out
+        lines = csv.read_text().splitlines()
+        assert lines[0].startswith("experiment,")
+        assert len(lines) == 1 + 3 * 1 * 3 * 2  # scen x size x methods x graphs
+
+    def test_run_multi_config_experiment(self, capsys):
+        code = main([
+            "run", "ablation-release", "--graphs", "1", "--sizes", "2",
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ablation-release-greedy" in out
+        assert "ablation-release-tt" in out
+
+    def test_run_with_plot(self, capsys):
+        code = main([
+            "run", "figure5", "--graphs", "2", "--sizes", "2,4", "--quiet",
+            "--plot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "o=PURE" in out
+        assert "processors" in out
+
+    def test_run_save_and_compare(self, capsys, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        main(["run", "figure5", "--graphs", "2", "--sizes", "2", "--quiet",
+              "--save", a])
+        main(["run", "figure5", "--graphs", "2", "--sizes", "2", "--quiet",
+              "--save", b, "--seed", "9"])
+        capsys.readouterr()
+        assert main(["compare", a, b, "--threshold", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "worst regression" in out
+
+    def test_compare_identical_runs(self, capsys, tmp_path):
+        a = str(tmp_path / "a.json")
+        main(["run", "figure5", "--graphs", "2", "--sizes", "2", "--quiet",
+              "--save", a])
+        capsys.readouterr()
+        assert main(["compare", a, a]) == 0
+        out = capsys.readouterr().out
+        assert "no per-point changes" in out
+
+    def test_save_multi_config_gets_suffixed_files(self, tmp_path, capsys):
+        base = str(tmp_path / "runs.json")
+        code = main([
+            "run", "ablation-release", "--graphs", "1", "--sizes", "2",
+            "--quiet", "--save", base,
+        ])
+        assert code == 0
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "runs-ablation-release-greedy.json",
+            "runs-ablation-release-tt.json",
+        ]

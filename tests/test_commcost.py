@@ -1,0 +1,96 @@
+"""Communication-cost estimation strategies."""
+
+import pytest
+
+from repro.core.commcost import CCAA, CCNE, Oracle, Scaled, make_estimator
+from repro.errors import ValidationError
+from repro.graph.taskgraph import TaskGraph
+
+
+def build(pin_a=None, pin_b=None):
+    g = TaskGraph()
+    g.add_subtask("a", wcet=1.0, release=0.0, pinned_to=pin_a)
+    g.add_subtask("b", wcet=1.0, end_to_end_deadline=10.0, pinned_to=pin_b)
+    g.add_edge("a", "b", message_size=6.0)
+    return g
+
+
+class TestCCNE:
+    def test_relaxed_is_zero(self):
+        g = build()
+        assert CCNE().estimate(g, g.message("a", "b")) == 0.0
+
+    def test_pinned_same_processor_zero(self):
+        g = build(pin_a=1, pin_b=1)
+        assert CCNE().estimate(g, g.message("a", "b")) == 0.0
+
+    def test_pinned_different_processors_actual(self):
+        # Known cross-processor pairs override the optimistic estimate.
+        g = build(pin_a=0, pin_b=1)
+        assert CCNE().estimate(g, g.message("a", "b")) == 6.0
+
+    def test_cost_per_item(self):
+        g = build(pin_a=0, pin_b=1)
+        assert CCNE(cost_per_item=2.0).estimate(g, g.message("a", "b")) == 12.0
+
+
+class TestCCAA:
+    def test_relaxed_is_full_cost(self):
+        g = build()
+        assert CCAA().estimate(g, g.message("a", "b")) == 6.0
+
+    def test_pinned_same_processor_zero(self):
+        # Known co-located pairs override the pessimistic estimate.
+        g = build(pin_a=2, pin_b=2)
+        assert CCAA().estimate(g, g.message("a", "b")) == 0.0
+
+    def test_half_pinned_still_estimated(self):
+        g = build(pin_a=2, pin_b=None)
+        assert CCAA().estimate(g, g.message("a", "b")) == 6.0
+
+
+class TestScaled:
+    def test_interpolates(self):
+        g = build()
+        assert Scaled(0.0).estimate(g, g.message("a", "b")) == 0.0
+        assert Scaled(1.0).estimate(g, g.message("a", "b")) == 6.0
+        assert Scaled(0.5).estimate(g, g.message("a", "b")) == 3.0
+
+    def test_name_encodes_factor(self):
+        assert Scaled(0.5).name == "CC50"
+
+    def test_bad_factor(self):
+        with pytest.raises(ValidationError):
+            Scaled(1.5)
+
+
+class TestOracle:
+    def test_same_processor(self):
+        g = build()
+        oracle = Oracle({"a": 0, "b": 0})
+        assert oracle.estimate(g, g.message("a", "b")) == 0.0
+
+    def test_cross_processor(self):
+        g = build()
+        oracle = Oracle({"a": 0, "b": 1})
+        assert oracle.estimate(g, g.message("a", "b")) == 6.0
+
+    def test_missing_assignment(self):
+        g = build()
+        with pytest.raises(ValidationError, match="missing"):
+            Oracle({"a": 0}).estimate(g, g.message("a", "b"))
+
+
+class TestFactory:
+    def test_make(self):
+        assert isinstance(make_estimator("ccne"), CCNE)
+        assert isinstance(make_estimator("CCAA"), CCAA)
+        assert make_estimator("CCNE", cost_per_item=3.0).cost_per_item == 3.0
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            make_estimator("XXX")
+
+    def test_negative_cost_per_item(self):
+        with pytest.raises(ValidationError):
+            CCNE(cost_per_item=-1.0)

@@ -1,0 +1,76 @@
+"""Graph composition from namespaced fragments."""
+
+import pytest
+
+from repro.core import bst, validate_assignment
+from repro.errors import ValidationError
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.transform import compose
+from repro.machine.system import System
+from repro.sched.list_scheduler import ListScheduler
+
+
+def sensor_fragment():
+    g = TaskGraph("sensor")
+    g.add_subtask("read", wcet=3.0, release=0.0)
+    g.add_subtask("publish", wcet=2.0, end_to_end_deadline=30.0)
+    g.add_edge("read", "publish", message_size=2.0)
+    return g
+
+
+def control_fragment():
+    g = TaskGraph("control")
+    g.add_subtask("law", wcet=10.0, release=0.0)
+    g.add_subtask("command", wcet=3.0, end_to_end_deadline=80.0)
+    g.add_edge("law", "command", message_size=1.0)
+    return g
+
+
+class TestCompose:
+    def test_namespacing(self):
+        out = compose({"s": sensor_fragment(), "c": control_fragment()})
+        assert "s:read" in out and "c:law" in out
+        assert out.has_edge("s:read", "s:publish")
+        assert out.n_subtasks == 4
+
+    def test_cross_fragment_arcs(self):
+        out = compose(
+            {"s": sensor_fragment(), "c": control_fragment()},
+            arcs=[("s", "publish", "c", "law", 4.0)],
+        )
+        assert out.has_edge("s:publish", "c:law")
+        assert out.message("s:publish", "c:law").size == 4.0
+        # publish keeps its own deadline as an interior anchor.
+        assert out.node("s:publish").end_to_end_deadline == 30.0
+
+    def test_composed_system_distributes_and_schedules(self):
+        out = compose(
+            {"s": sensor_fragment(), "c": control_fragment()},
+            arcs=[("s", "publish", "c", "law", 4.0)],
+        )
+        assignment = bst("PURE", "CCNE").distribute(out)
+        assert validate_assignment(assignment).ok
+        # The interior anchor is honoured.
+        assert assignment.absolute_deadline("s:publish") <= 30.0 + 1e-9
+        schedule = ListScheduler(System(2)).schedule(out, assignment)
+        schedule.validate()
+
+    def test_bad_arc_shape(self):
+        with pytest.raises(ValidationError, match="tuples"):
+            compose(
+                {"s": sensor_fragment()},
+                arcs=[("s", "publish")],
+            )
+
+    def test_namespace_with_colon_rejected(self):
+        with pytest.raises(ValidationError, match="':'"):
+            compose({"a:b": sensor_fragment()})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            compose({})
+
+    def test_same_fragment_twice_under_different_names(self):
+        out = compose({"s1": sensor_fragment(), "s2": sensor_fragment()})
+        assert out.n_subtasks == 4
+        assert "s1:read" in out and "s2:read" in out

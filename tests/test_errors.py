@@ -1,0 +1,32 @@
+"""The exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_cycle_error_carries_the_cycle():
+    err = errors.CycleError(["a", "b", "a"])
+    assert err.cycle == ["a", "b", "a"]
+    assert "a -> b -> a" in str(err)
+
+
+def test_graph_errors_are_graph_errors():
+    assert issubclass(errors.DuplicateNodeError, errors.GraphError)
+    assert issubclass(errors.UnknownNodeError, errors.GraphError)
+    assert issubclass(errors.DuplicateEdgeError, errors.GraphError)
+    assert issubclass(errors.CycleError, errors.GraphError)
+
+
+def test_catching_base_catches_everything():
+    with pytest.raises(errors.ReproError):
+        raise errors.SchedulingError("boom")
+    with pytest.raises(errors.ReproError):
+        raise errors.DistributionError("boom")

@@ -1,0 +1,76 @@
+"""The expanded graph: communication-subtask materialization."""
+
+import pytest
+
+from repro.core.commcost import CCAA, CCNE
+from repro.core.expanded import ExpandedGraph
+from repro.graph.taskgraph import TaskGraph
+
+
+def build():
+    g = TaskGraph()
+    g.add_subtask("a", wcet=1.0, release=0.0)
+    g.add_subtask("b", wcet=2.0)
+    g.add_subtask("c", wcet=3.0, end_to_end_deadline=30.0)
+    g.add_edge("a", "b", message_size=5.0)
+    g.add_edge("b", "c", message_size=0.0)  # pure precedence
+    return g
+
+
+class TestCCNEExpansion:
+    def test_no_comm_nodes(self):
+        e = ExpandedGraph(build(), CCNE())
+        assert len(e) == 3
+        assert e.comm_nodes() == []
+        assert e.successors("a") == ["b"]
+
+    def test_anchors(self):
+        e = ExpandedGraph(build(), CCNE())
+        assert e.static_release == {"a": 0.0}
+        assert e.static_deadline == {"c": 30.0}
+
+
+class TestCCAAExpansion:
+    def test_comm_node_spliced(self):
+        e = ExpandedGraph(build(), CCAA())
+        assert len(e) == 4  # 3 tasks + 1 comm node for the sized message
+        comm = e.comm_nodes()
+        assert len(comm) == 1
+        assert comm[0].eid == "chi(a->b)"
+        assert comm[0].cost == 5.0
+        assert e.successors("a") == ["chi(a->b)"]
+        assert e.predecessors("b") == ["chi(a->b)"]
+
+    def test_zero_size_message_not_materialized(self):
+        e = ExpandedGraph(build(), CCAA())
+        # b -> c carries no data: stays a plain edge even under CCAA.
+        assert e.successors("b") == ["c"]
+
+    def test_topological_order_respects_comm_nodes(self):
+        e = ExpandedGraph(build(), CCAA())
+        order = e.topological_order()
+        assert order.index("a") < order.index("chi(a->b)") < order.index("b")
+
+    def test_node_kinds(self):
+        e = ExpandedGraph(build(), CCAA())
+        assert e.node("a").is_task and not e.node("a").is_comm
+        assert e.node("chi(a->b)").is_comm
+        assert e.node("chi(a->b)").edge == ("a", "b")
+        assert "chi(a->b)" in e
+        assert len(e.task_nodes()) == 3
+
+
+class TestPinnedExpansion:
+    def test_pinned_same_proc_no_comm_node_under_ccaa(self):
+        g = build()
+        g.node("a").pinned_to = 0
+        g.node("b").pinned_to = 0
+        e = ExpandedGraph(g, CCAA())
+        assert e.comm_nodes() == []
+
+    def test_pinned_cross_proc_comm_node_under_ccne(self):
+        g = build()
+        g.node("a").pinned_to = 0
+        g.node("b").pinned_to = 1
+        e = ExpandedGraph(g, CCNE())
+        assert [n.eid for n in e.comm_nodes()] == ["chi(a->b)"]

@@ -1,0 +1,150 @@
+"""Canonical experiment definitions: registry completeness and contracts."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.feast.config import ExperimentConfig
+from repro.feast.experiments import (
+    EXPERIMENTS,
+    build_experiment,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
+from repro.feast.runner import run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        for figure in ("figure2", "figure3", "figure4", "figure5"):
+            assert figure in EXPERIMENTS
+
+    def test_all_section8_extensions_registered(self):
+        for ext in (
+            "ext-ccr", "ext-met", "ext-parallelism", "ext-topology",
+            "ext-structured", "ext-policy", "ext-locality",
+            "ext-baselines", "ext-heterogeneous", "ext-realistic",
+        ):
+            assert ext in EXPERIMENTS
+
+    def test_all_ablations_registered(self):
+        for ablation in (
+            "ablation-olr", "ablation-bus", "ablation-release",
+            "ablation-clamp",
+        ):
+            assert ablation in EXPERIMENTS
+
+    def test_all_builders_produce_valid_configs(self):
+        for name in EXPERIMENTS:
+            configs = build_experiment(name, n_graphs=2, system_sizes=(2, 4))
+            assert configs, name
+            for cfg in configs:
+                assert isinstance(cfg, ExperimentConfig)
+                assert cfg.n_graphs == 2
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            build_experiment("figure99")
+
+
+class TestFigureDefinitions:
+    def test_figure2_methods(self):
+        (cfg,) = figure2()
+        labels = {m.label for m in cfg.methods}
+        assert labels == {"PURE/CCNE", "PURE/CCAA", "NORM/CCNE", "NORM/CCAA"}
+        assert cfg.n_graphs == 128
+        assert cfg.scenarios == ("LDET", "MDET", "HDET")
+
+    def test_figure3_surpluses(self):
+        (cfg,) = figure3()
+        surpluses = {m.surplus for m in cfg.methods}
+        assert surpluses == {1.0, 2.0, 4.0}
+        assert all(m.metric == "THRES" for m in cfg.methods)
+
+    def test_figure4_thresholds(self):
+        (cfg,) = figure4()
+        factors = {m.threshold_factor for m in cfg.methods}
+        assert factors == {0.75, 1.0, 1.25}
+        assert all(m.surplus == 1.0 for m in cfg.methods)
+
+    def test_figure5_methods(self):
+        (cfg,) = figure5()
+        assert [m.label for m in cfg.methods] == ["PURE", "THRES", "ADAPT"]
+        thres = next(m for m in cfg.methods if m.label == "THRES")
+        assert thres.surplus == 1.0 and thres.threshold_factor == 1.25
+
+
+class TestExtensionDefinitions:
+    def test_ext_ccr_one_config_per_ratio(self):
+        configs = build_experiment("ext-ccr", n_graphs=2)
+        ratios = [
+            c.graph_config.communication_to_computation_ratio for c in configs
+        ]
+        assert ratios == [0.1, 0.5, 1.0, 2.0, 4.0]
+
+    def test_ext_topology_configs(self):
+        configs = build_experiment("ext-topology", n_graphs=2)
+        assert [c.topology for c in configs] == [
+            "bus", "fully-connected", "ring", "mesh",
+        ]
+
+    def test_ext_structured_factories_run(self):
+        configs = build_experiment(
+            "ext-structured", n_graphs=1, system_sizes=(2,)
+        )
+        for cfg in configs:
+            result = run_experiment(cfg)
+            assert len(result) == 2  # two methods x one graph x one size
+
+    def test_ext_locality_pins_fraction(self):
+        import random
+
+        configs = build_experiment("ext-locality", n_graphs=1)
+        full = configs[-1]
+        graph = full.graph_factory(
+            full.graph_config, random.Random(0)
+        )
+        assert len(graph.pinned_subtasks()) == graph.n_subtasks
+        # Pins stay within the smallest swept system size.
+        assert all(
+            graph.node(n).pinned_to < min(full.system_sizes)
+            for n in graph.pinned_subtasks()
+        )
+
+    def test_ablation_release_flags(self):
+        configs = build_experiment("ablation-release", n_graphs=1)
+        assert [c.respect_release_times for c in configs] == [False, True]
+
+    def test_ablation_olr_covers_both_bases(self):
+        configs = build_experiment("ablation-olr", n_graphs=1)
+        bases = {c.graph_config.olr_basis for c in configs}
+        assert bases == {"graph-workload", "path-workload"}
+
+    def test_ablation_clamp_method_flags(self):
+        (config,) = build_experiment("ablation-clamp", n_graphs=1)
+        flags = {m.label: m.clamp_to_anchors for m in config.methods}
+        assert flags == {
+            "PURE/clamped": True, "ADAPT/clamped": True,
+            "PURE/raw": False, "ADAPT/raw": False,
+        }
+        raw = next(m for m in config.methods if m.label == "PURE/raw")
+        assert raw.build().clamp_to_anchors is False
+
+    def test_ext_realistic_factories_run(self):
+        configs = build_experiment(
+            "ext-realistic", n_graphs=1, system_sizes=(2,)
+        )
+        assert [c.name.split("-")[-1] for c in configs] == [
+            "automotive", "radar", "video",
+        ]
+        result = run_experiment(configs[0])
+        assert len(result) == 2  # two methods x one graph x one size
+
+    def test_ext_heterogeneous_profiles(self):
+        configs = build_experiment("ext-heterogeneous", n_graphs=1)
+        assert [c.speed_profile for c in configs] == [
+            "uniform", "mixed", "one-fast",
+        ]
+        labels = {m.label for m in configs[0].methods}
+        assert labels == {"PURE", "ADAPT", "ADAPT-C"}

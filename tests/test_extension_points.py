@@ -1,0 +1,149 @@
+"""Extension points: the surfaces a downstream user subclasses.
+
+These tests define a custom slicing metric, a custom communication-cost
+estimator, a custom ready-list policy and a custom interconnect, run each
+through the full pipeline, and verify the library treats them exactly
+like the built-ins. If any of these breaks, the public extension story
+(docs/EXTENDING.md) breaks with it.
+"""
+
+import pytest
+
+from repro.core.commcost import CommCostEstimator
+from repro.core.expanded import ENode
+from repro.core.metrics import SlicingMetric
+from repro.core.slicer import DeadlineDistributor
+from repro.core.validation import validate_assignment
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.machine.topology import Interconnect
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.policies import SelectionPolicy
+
+
+@pytest.fixture
+def graph():
+    g = TaskGraph()
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=30.0)
+    g.add_subtask("c", wcet=20.0, end_to_end_deadline=150.0)
+    g.add_edge("a", "b", message_size=4.0)
+    g.add_edge("b", "c", message_size=4.0)
+    return g
+
+
+class ShareLaxityRatio(SlicingMetric):
+    """Custom metric actually used in tests: equal share, doubled for
+    communication subtasks (protects messages instead of long tasks)."""
+
+    name = "COMMBOOST"
+    uses_count = True
+
+    def ratio(self, end_to_end, total_virtual_cost, count):
+        return (end_to_end - total_virtual_cost) / count
+
+    def relative_deadline(self, node, ratio):
+        return self.virtual_cost(node) + ratio
+
+
+class TestCustomMetric:
+    def test_runs_through_the_pipeline(self, graph):
+        distributor = DeadlineDistributor(ShareLaxityRatio())
+        assignment = distributor.distribute(graph)
+        assert assignment.metric_name == "COMMBOOST"
+        assert validate_assignment(assignment).ok
+        schedule = ListScheduler(System(2)).schedule(graph, assignment)
+        schedule.validate()
+
+    def test_broken_telescoping_is_caught(self, graph):
+        class Broken(ShareLaxityRatio):
+            name = "BROKEN"
+
+            def relative_deadline(self, node, ratio):
+                return node.cost + ratio + 1.0  # off by one per node
+
+        from repro.errors import DistributionError
+
+        with pytest.raises(DistributionError, match="telescoping"):
+            DeadlineDistributor(Broken()).distribute(graph)
+
+
+class HalfCost(CommCostEstimator):
+    """Custom estimator: expect cross-processor placement half the time."""
+
+    name = "CC50-custom"
+
+    def _estimate_relaxed(self, graph, message):
+        return 0.5 * self.transfer_cost(message)
+
+
+class TestCustomEstimator:
+    def test_materializes_scaled_comm_nodes(self, graph):
+        distributor = DeadlineDistributor(
+            ShareLaxityRatio(), estimator=HalfCost()
+        )
+        assignment = distributor.distribute(graph)
+        assert assignment.comm_strategy_name == "CC50-custom"
+        window = assignment.message_window("a", "b")
+        assert window is not None and window.cost == 2.0
+
+
+class ShortestFirst(SelectionPolicy):
+    """Custom policy: SPT (shortest processing time first)."""
+
+    name = "SPT"
+
+    def key(self, node_id, graph, assignment):
+        return (graph.node(node_id).wcet,)
+
+
+class TestCustomPolicy:
+    def test_orders_ready_list(self):
+        g = TaskGraph()
+        g.add_subtask("long", wcet=50.0, release=0.0, end_to_end_deadline=200.0)
+        g.add_subtask("short", wcet=5.0, release=0.0, end_to_end_deadline=200.0)
+        from repro.core.slicer import bst
+
+        assignment = bst().distribute(g)
+        schedule = ListScheduler(System(1), policy=ShortestFirst()).schedule(
+            g, assignment
+        )
+        assert schedule.task("short").start == 0.0
+        assert schedule.task("long").start == 5.0
+
+
+class TwoBuses(Interconnect):
+    """Custom interconnect: two buses, chosen by source parity."""
+
+    name = "two-buses"
+    contended = True
+
+    def route(self, src, dst):
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return []
+        return [f"bus{src % 2}"]
+
+
+class TestCustomInterconnect:
+    def test_parallel_buses_reduce_contention(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0, pinned_to=0)
+        g.add_subtask("b", wcet=10.0, release=0.0, pinned_to=1)
+        g.add_subtask("c", wcet=10.0, end_to_end_deadline=500.0, pinned_to=2)
+        g.add_subtask("d", wcet=10.0, end_to_end_deadline=500.0, pinned_to=3)
+        g.add_edge("a", "c", message_size=20.0)
+        g.add_edge("b", "d", message_size=20.0)
+        from repro.core.slicer import bst
+
+        assignment = bst().distribute(g)
+        single = ListScheduler(System(4)).schedule(g, assignment)
+        double = ListScheduler(
+            System(4, interconnect=TwoBuses(4))
+        ).schedule(g, assignment)
+        double.validate()
+        # On one bus the transfers serialize; on two they run in parallel.
+        assert double.makespan() < single.makespan()
+        assert double.makespan() == pytest.approx(40.0)
+        assert single.makespan() == pytest.approx(60.0)

@@ -1,0 +1,159 @@
+"""The random task-graph generator against its Section 5.2 contract."""
+
+import random
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graph import paths
+from repro.graph.generator import (
+    HDET,
+    LDET,
+    MDET,
+    SCENARIOS,
+    RandomGraphConfig,
+    generate_task_graph,
+    generate_task_graphs,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        cfg = RandomGraphConfig()
+        assert cfg.n_subtasks_range == (40, 60)
+        assert cfg.mean_execution_time == 20.0
+        assert cfg.depth_range == (8, 12)
+        assert cfg.degree_range == (1, 3)
+        assert cfg.overall_laxity_ratio == 1.5
+        assert cfg.communication_to_computation_ratio == 1.0
+
+    def test_scenarios(self):
+        assert SCENARIOS == {"LDET": 0.25, "MDET": 0.50, "HDET": 0.99}
+        cfg = RandomGraphConfig().with_scenario("HDET")
+        assert cfg.execution_time_deviation == HDET
+
+    def test_unknown_scenario(self):
+        with pytest.raises(GeneratorError):
+            RandomGraphConfig().with_scenario("XDET")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_subtasks_range": (0, 5)},
+            {"n_subtasks_range": (10, 5)},
+            {"depth_range": (0, 3)},
+            {"depth_range": (5, 3)},
+            {"degree_range": (0, 2)},
+            {"mean_execution_time": 0.0},
+            {"execution_time_deviation": 1.0},
+            {"execution_time_deviation": -0.1},
+            {"overall_laxity_ratio": 0.0},
+            {"olr_basis": "bogus"},
+            {"communication_to_computation_ratio": -1.0},
+            {"message_size_deviation": 1.5},
+            {"long_edge_probability": 2.0},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(GeneratorError):
+            RandomGraphConfig(**kwargs)
+
+
+class TestGeneratedStructure:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_size_and_depth_in_range(self, seed):
+        g = generate_task_graph(RandomGraphConfig(), rng=random.Random(seed))
+        assert 40 <= g.n_subtasks <= 60
+        assert 8 <= paths.graph_depth(g) <= 12
+
+    @pytest.mark.parametrize("scenario,dev", SCENARIOS.items())
+    def test_execution_times_within_deviation(self, scenario, dev):
+        cfg = RandomGraphConfig().with_scenario(scenario)
+        g = generate_task_graph(cfg, rng=random.Random(99))
+        met = cfg.mean_execution_time
+        for sub in g.nodes():
+            assert met * (1 - dev) - 1e-9 <= sub.wcet <= met * (1 + dev) + 1e-9
+
+    def test_interior_nodes_connected(self):
+        g = generate_task_graph(RandomGraphConfig(), rng=random.Random(3))
+        levels = paths.level_of(g)
+        depth = max(levels.values())
+        for node_id, level in levels.items():
+            if level < depth:
+                assert g.out_degree(node_id) >= 1, node_id
+            if level > 1:
+                assert g.in_degree(node_id) >= 1, node_id
+
+    def test_validated(self):
+        # generate_task_graph validates internally; double-check anchors.
+        g = generate_task_graph(RandomGraphConfig(), rng=random.Random(5))
+        for n in g.input_subtasks():
+            assert g.node(n).release == 0.0
+        for n in g.output_subtasks():
+            assert g.node(n).end_to_end_deadline is not None
+
+    def test_integer_times(self):
+        cfg = RandomGraphConfig(integer_times=True)
+        g = generate_task_graph(cfg, rng=random.Random(5))
+        for sub in g.nodes():
+            assert sub.wcet == int(sub.wcet)
+        for m in g.messages():
+            assert m.size == int(m.size)
+
+    def test_impossible_depth_rejected(self):
+        cfg = RandomGraphConfig(n_subtasks_range=(4, 4), depth_range=(8, 8))
+        with pytest.raises(GeneratorError):
+            generate_task_graph(cfg, rng=random.Random(0))
+
+
+class TestDeadlinesAndMessages:
+    def test_graph_workload_olr(self):
+        cfg = RandomGraphConfig(olr_basis="graph-workload")
+        g = generate_task_graph(cfg, rng=random.Random(11))
+        expected = 1.5 * g.total_workload()
+        for n in g.output_subtasks():
+            assert g.node(n).end_to_end_deadline == pytest.approx(expected)
+
+    def test_path_workload_olr(self):
+        cfg = RandomGraphConfig(olr_basis="path-workload")
+        g = generate_task_graph(cfg, rng=random.Random(11))
+        # Each output's anchor is 1.5x the heaviest path ending at it; the
+        # heaviest overall path ends at some output with anchor 1.5 x length.
+        longest = paths.longest_path_length(g)
+        anchors = [
+            g.node(n).end_to_end_deadline for n in g.output_subtasks()
+        ]
+        assert max(anchors) == pytest.approx(1.5 * longest)
+        assert all(a <= 1.5 * longest + 1e-9 for a in anchors)
+
+    def test_ccr_close_to_configured(self):
+        # Mean message size should be near CCR x MET over many samples.
+        graphs = generate_task_graphs(20, RandomGraphConfig(), seed=5)
+        sizes = [m.size for g in graphs for m in g.messages()]
+        mean = sum(sizes) / len(sizes)
+        assert mean == pytest.approx(20.0, rel=0.1)
+
+    def test_zero_ccr_means_no_message_volume(self):
+        cfg = RandomGraphConfig(communication_to_computation_ratio=0.0)
+        g = generate_task_graph(cfg, rng=random.Random(2))
+        assert g.total_message_volume() == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_task_graph(RandomGraphConfig(), rng=random.Random(42))
+        b = generate_task_graph(RandomGraphConfig(), rng=random.Random(42))
+        assert a.node_ids() == b.node_ids()
+        assert a.edges() == b.edges()
+        assert [s.wcet for s in a.nodes()] == [s.wcet for s in b.nodes()]
+
+    def test_batch_graphs_differ(self):
+        graphs = generate_task_graphs(4, RandomGraphConfig(), seed=0)
+        shapes = {(g.n_subtasks, g.n_edges) for g in graphs}
+        assert len(shapes) > 1
+
+    def test_batch_reproducible(self):
+        a = generate_task_graphs(3, RandomGraphConfig(), seed=9)
+        b = generate_task_graphs(3, RandomGraphConfig(), seed=9)
+        for ga, gb in zip(a, b):
+            assert ga.edges() == gb.edges()

@@ -1,0 +1,68 @@
+"""Graph statistics and width analysis."""
+
+import pytest
+
+from repro.graph.analysis import graph_stats, max_width, width_histogram
+from repro.graph.taskgraph import TaskGraph
+
+
+def build():
+    g = TaskGraph()
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=30.0)
+    g.add_subtask("c", wcet=20.0)
+    g.add_subtask("d", wcet=20.0, end_to_end_deadline=200.0, pinned_to=1)
+    g.add_edge("a", "b", message_size=8.0)
+    g.add_edge("a", "c", message_size=16.0)
+    g.add_edge("b", "d", message_size=8.0)
+    g.add_edge("c", "d", message_size=8.0)
+    return g
+
+
+class TestGraphStats:
+    def test_counts(self):
+        s = graph_stats(build())
+        assert s.n_subtasks == 4
+        assert s.n_edges == 4
+        assert s.n_inputs == 1
+        assert s.n_outputs == 1
+        assert s.n_pinned == 1
+        assert s.depth == 3
+
+    def test_workload(self):
+        s = graph_stats(build())
+        assert s.total_workload == 80.0
+        assert s.mean_execution_time == 20.0
+        assert s.min_execution_time == 10.0
+        assert s.max_execution_time == 30.0
+
+    def test_parallelism(self):
+        s = graph_stats(build())
+        assert s.longest_path_execution_time == 60.0  # a-b-d
+        assert s.average_parallelism == pytest.approx(80.0 / 60.0)
+
+    def test_communication(self):
+        s = graph_stats(build())
+        assert s.total_message_volume == 40.0
+        assert s.mean_message_size == 10.0
+        assert s.communication_to_computation_ratio == pytest.approx(0.5)
+
+    def test_as_dict_complete(self):
+        d = graph_stats(build()).as_dict()
+        assert d["n_subtasks"] == 4
+        assert len(d) == 15
+
+    def test_no_edges(self):
+        g = TaskGraph()
+        g.add_subtask("only", wcet=5.0, release=0.0, end_to_end_deadline=10.0)
+        s = graph_stats(g)
+        assert s.mean_message_size == 0.0
+        assert s.communication_to_computation_ratio == 0.0
+
+
+class TestWidth:
+    def test_histogram(self):
+        assert width_histogram(build()) == {1: 1, 2: 2, 3: 1}
+
+    def test_max_width(self):
+        assert max_width(build()) == 2

@@ -1,0 +1,62 @@
+"""Subtask / Message / CommSubtask invariants."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.node import CommSubtask, Message, Subtask
+
+
+class TestSubtask:
+    def test_basic_construction(self):
+        s = Subtask("a", wcet=5.0)
+        assert s.node_id == "a"
+        assert s.wcet == 5.0
+        assert s.release is None
+        assert s.end_to_end_deadline is None
+        assert not s.is_pinned
+
+    def test_pinned(self):
+        s = Subtask("a", wcet=5.0, pinned_to=3)
+        assert s.is_pinned
+        assert s.pinned_to == 3
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValidationError):
+            Subtask("", wcet=5.0)
+
+    @pytest.mark.parametrize("wcet", [0.0, -1.0])
+    def test_nonpositive_wcet_rejected(self, wcet):
+        with pytest.raises(ValidationError):
+            Subtask("a", wcet=wcet)
+
+    def test_negative_pin_rejected(self):
+        with pytest.raises(ValidationError):
+            Subtask("a", wcet=5.0, pinned_to=-1)
+
+
+class TestMessage:
+    def test_basic(self):
+        m = Message("a", "b", size=4.0)
+        assert m.edge_id == ("a", "b")
+        assert m.size == 4.0
+
+    def test_zero_size_allowed(self):
+        # Pure precedence constraints carry no data.
+        assert Message("a", "b", size=0.0).size == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            Message("a", "b", size=-1.0)
+
+
+class TestCommSubtask:
+    def test_comm_id_is_synthetic(self):
+        chi = CommSubtask("a", "b", cost=4.0)
+        assert chi.comm_id == "chi(a->b)"
+
+    def test_zero_cost_allowed(self):
+        assert CommSubtask("a", "b", cost=0.0).cost == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            CommSubtask("a", "b", cost=-0.1)

@@ -1,0 +1,139 @@
+"""Heterogeneous platforms: speed profiles and the ADAPT-C variant."""
+
+import pytest
+
+from repro.core.commcost import CCNE
+from repro.core.expanded import ExpandedGraph
+from repro.core.metrics import AdaptiveLaxityRatio, MetricContext
+from repro.core.slicer import DeadlineDistributor
+from repro.errors import ExperimentError, ValidationError
+from repro.feast.config import (
+    SPEED_PROFILES,
+    ExperimentConfig,
+    MethodSpec,
+    speeds_for,
+)
+from repro.graph.taskgraph import TaskGraph
+
+
+def chain():
+    g = TaskGraph()
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=30.0)
+    g.add_subtask("c", wcet=20.0, end_to_end_deadline=120.0)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestSpeedProfiles:
+    def test_uniform(self):
+        assert speeds_for("uniform", 4) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_mixed_alternates(self):
+        assert speeds_for("mixed", 4) == (1.0, 2.0, 1.0, 2.0)
+
+    def test_one_fast(self):
+        assert speeds_for("one-fast", 3) == (4.0, 1.0, 1.0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ExperimentError):
+            speeds_for("warp", 4)
+
+    def test_config_validates_profile(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(
+                name="x",
+                description="d",
+                methods=(MethodSpec(label="PURE", metric="PURE"),),
+                speed_profile="warp",
+            )
+
+    def test_all_profiles_registered(self):
+        assert set(SPEED_PROFILES) == {"uniform", "mixed", "one-fast"}
+
+
+class TestAdaptCapacityAware:
+    def context(self, total_capacity=None):
+        g = chain()
+        return ExpandedGraph(g, CCNE()), MetricContext(
+            graph=g, n_processors=2, total_capacity=total_capacity
+        )
+
+    def test_divides_by_capacity(self):
+        m = AdaptiveLaxityRatio(capacity_aware=True, threshold=0.0)
+        expanded, context = self.context(total_capacity=5.0)
+        m.prepare(expanded, context)
+        # Chain parallelism 1: surplus 1/5 instead of 1/2.
+        assert m.effective_surplus == pytest.approx(0.2)
+        assert m.name == "ADAPT-C"
+
+    def test_coincides_with_count_on_unit_speeds(self):
+        plain = AdaptiveLaxityRatio(threshold=0.0)
+        aware = AdaptiveLaxityRatio(capacity_aware=True, threshold=0.0)
+        expanded, context = self.context(total_capacity=2.0)
+        plain.prepare(expanded, context)
+        aware.prepare(expanded, context)
+        assert plain.effective_surplus == aware.effective_surplus
+
+    def test_falls_back_to_count_without_capacity(self):
+        aware = AdaptiveLaxityRatio(capacity_aware=True, threshold=0.0)
+        expanded, context = self.context(total_capacity=None)
+        aware.prepare(expanded, context)
+        assert aware.effective_surplus == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_capacity(self):
+        aware = AdaptiveLaxityRatio(capacity_aware=True)
+        expanded, context = self.context(total_capacity=0.0)
+        with pytest.raises(ValidationError):
+            aware.prepare(expanded, context)
+
+    def test_distribute_passes_capacity(self):
+        distributor = DeadlineDistributor(
+            AdaptiveLaxityRatio(capacity_aware=True, threshold=0.0)
+        )
+        loose = distributor.distribute(
+            chain(), n_processors=2, total_capacity=100.0
+        )
+        tight = distributor.distribute(
+            chain(), n_processors=2, total_capacity=1.0
+        )
+        # Huge capacity -> negligible surplus -> PURE-like equal windows;
+        # tiny capacity -> big surplus -> long subtask b gets more slack.
+        assert tight.relative_deadline("b") > loose.relative_deadline("b")
+
+
+class TestMethodSpecCapacityAware:
+    def test_builds_adapt_c(self):
+        spec = MethodSpec(
+            label="ADAPT-C", metric="ADAPT", capacity_aware=True
+        )
+        distributor = spec.build()
+        assert distributor.metric.name == "ADAPT-C"
+        assert spec.needs_system_size
+
+    def test_capacity_flag_ignored_for_other_metrics(self):
+        spec = MethodSpec(label="PURE", metric="PURE", capacity_aware=True)
+        assert spec.build().metric.name == "PURE"
+
+
+class TestRunnerIntegration:
+    def test_heterogeneous_experiment_runs(self):
+        from repro.feast import build_experiment, run_experiment
+        from repro.graph.generator import RandomGraphConfig
+
+        configs = build_experiment(
+            "ext-heterogeneous", n_graphs=2, system_sizes=(2,)
+        )
+        for config in configs:
+            config = ExperimentConfig(
+                **{
+                    **config.__dict__,
+                    "graph_config": RandomGraphConfig(
+                        n_subtasks_range=(8, 10), depth_range=(3, 4)
+                    ),
+                }
+            )
+            result = run_experiment(config)
+            methods = {r.method for r in result.records}
+            assert methods == {"PURE", "ADAPT", "ADAPT-C"}

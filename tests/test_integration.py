@@ -1,0 +1,125 @@
+"""End-to-end integration: generate → distribute → schedule → validate.
+
+These tests run the full pipeline over multiple seeds and configurations
+and check the structural invariants that must hold regardless of workload:
+valid distributions, consistent schedules, and the qualitative relations
+the components guarantee by construction.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CCAA, CCNE, ast, bst, validate_assignment
+from repro.core.commcost import Oracle
+from repro.core.slicer import DeadlineDistributor
+from repro.core.metrics import PureLaxityRatio
+from repro.graph import RandomGraphConfig, generate_task_graph
+from repro.machine import System, make_interconnect
+from repro.sched import ListScheduler, max_lateness, schedule_metrics
+
+
+CONFIG = RandomGraphConfig(n_subtasks_range=(20, 30), depth_range=(5, 7))
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize(
+    "metric,comm", [("PURE", "CCNE"), ("NORM", "CCAA"), ("THRES", "CCNE")]
+)
+def test_pipeline_produces_valid_artifacts(seed, metric, comm):
+    graph = generate_task_graph(CONFIG, rng=random.Random(seed))
+    if metric == "THRES":
+        distributor = ast("THRES")
+    else:
+        distributor = bst(metric, comm)
+    assignment = distributor.distribute(graph, n_processors=4)
+    assert validate_assignment(assignment).ok
+    schedule = ListScheduler(System(4)).schedule(graph, assignment)
+    schedule.validate()
+    metrics = schedule_metrics(schedule, assignment)
+    assert metrics.n_subtasks == graph.n_subtasks
+    assert metrics.makespan > 0
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_adapt_full_pipeline(seed):
+    graph = generate_task_graph(CONFIG, rng=random.Random(seed))
+    for n_processors in (2, 8):
+        assignment = ast("ADAPT").distribute(graph, n_processors=n_processors)
+        assert validate_assignment(assignment).ok
+        schedule = ListScheduler(System(n_processors)).schedule(graph, assignment)
+        schedule.validate()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_ccne_yields_at_least_as_much_min_laxity_as_ccaa(seed):
+    """CCNE keeps the whole slack pool for computation subtasks, so the
+    minimum laxity it assigns can never be smaller than under CCAA on the
+    same graph (the paper's Section 6 explanation of why CCNE wins)."""
+    graph = generate_task_graph(CONFIG, rng=random.Random(seed))
+    ccne = bst("PURE", "CCNE").distribute(graph)
+    ccaa = bst("PURE", "CCAA").distribute(graph)
+    assert ccne.min_laxity() >= ccaa.min_laxity() - 1e-6
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_more_processors_never_hurt_makespan_much(seed):
+    """List scheduling anomalies aside, a 16-processor platform should not
+    produce a (much) longer schedule than a 2-processor one."""
+    graph = generate_task_graph(CONFIG, rng=random.Random(seed))
+    assignment = bst("PURE", "CCNE").distribute(graph)
+    small = ListScheduler(System(2)).schedule(graph, assignment)
+    large = ListScheduler(System(16)).schedule(graph, assignment)
+    assert large.makespan() <= small.makespan() * 1.25
+
+
+def test_oracle_estimator_reproduces_strict_locality_setting():
+    """With a complete assignment and pins matching it, the Oracle
+    distribution + pinned scheduling reproduces the BST world: message
+    windows exist exactly for the arcs that cross processors."""
+    graph = generate_task_graph(CONFIG, rng=random.Random(42))
+    assignment_map = {n: i % 2 for i, n in enumerate(graph.node_ids())}
+    for node_id, proc in assignment_map.items():
+        graph.node(node_id).pinned_to = proc
+    distributor = DeadlineDistributor(
+        PureLaxityRatio(), estimator=Oracle(assignment_map)
+    )
+    assignment = distributor.distribute(graph)
+    for src, dst in graph.edges():
+        crosses = assignment_map[src] != assignment_map[dst]
+        has_window = assignment.message_window(src, dst) is not None
+        sized = graph.message(src, dst).size > 0
+        assert has_window == (crosses and sized)
+    schedule = ListScheduler(System(2)).schedule(graph, assignment)
+    schedule.validate()
+    for node_id, proc in assignment_map.items():
+        assert schedule.processor_of(node_id) == proc
+
+
+@pytest.mark.parametrize("topology", ["bus", "fully-connected", "ring", "mesh", "ideal"])
+def test_all_topologies_schedule_consistently(topology):
+    graph = generate_task_graph(CONFIG, rng=random.Random(3))
+    assignment = bst("PURE", "CCNE").distribute(graph)
+    system = System(6, interconnect=make_interconnect(topology, 6))
+    schedule = ListScheduler(system).schedule(graph, assignment)
+    schedule.validate()
+
+
+def test_lateness_improves_with_system_size_on_average():
+    """The paper's most basic shape: more processors -> better (more
+    negative) mean max lateness, until saturation."""
+    graphs = [
+        generate_task_graph(CONFIG, rng=random.Random(s)) for s in range(12)
+    ]
+    distributor = bst("PURE", "CCNE")
+    means = []
+    for n_processors in (2, 4, 8):
+        total = 0.0
+        for graph in graphs:
+            assignment = distributor.distribute(graph)
+            schedule = ListScheduler(System(n_processors)).schedule(
+                graph, assignment
+            )
+            total += max_lateness(schedule, assignment)
+        means.append(total / len(graphs))
+    assert means[0] > means[1] >= means[2] - 1e-6

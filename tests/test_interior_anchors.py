@@ -1,0 +1,86 @@
+"""Interior anchors: deadlines/releases on non-boundary subtasks.
+
+Graph validation requires anchors on the boundary, but any subtask may
+carry one — the canonical source being hyperperiod unrolling, where a
+periodic task's own output keeps its deadline even after cross-task arcs
+give it downstream consumers. The distribution layer must honour them.
+"""
+
+import pytest
+
+from repro.core import ast, bst, validate_assignment
+from repro.graph import CrossTaskArc, PeriodicTask, unroll
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.sched import ListScheduler, lateness_by_subtask
+
+
+def interior_deadline_graph():
+    """a -> b -> c where b carries its own (tight) deadline anchor."""
+    g = TaskGraph()
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=10.0, end_to_end_deadline=40.0)  # interior anchor
+    g.add_subtask("c", wcet=10.0, end_to_end_deadline=200.0)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestDistribution:
+    def test_interior_deadline_bounds_the_window(self):
+        g = interior_deadline_graph()
+        for distributor in (bst("PURE", "CCNE"), bst("NORM", "CCNE")):
+            assignment = distributor.distribute(g)
+            assert assignment.absolute_deadline("b") <= 40.0 + 1e-9
+            assert validate_assignment(assignment).ok
+
+    def test_downstream_still_gets_the_full_budget(self):
+        g = interior_deadline_graph()
+        assignment = bst("PURE", "CCNE").distribute(g)
+        # c's slack comes from the 200 budget, not from b's tight 40.
+        assert assignment.absolute_deadline("c") == pytest.approx(200.0)
+        assert assignment.laxity("c") > assignment.laxity("b")
+
+    def test_interior_release_floor(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0)
+        # b must not start before 100 (e.g. an external gating event).
+        g.add_subtask("b", wcet=10.0, release=100.0)
+        g.add_subtask("c", wcet=10.0, end_to_end_deadline=300.0)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assignment = bst("PURE", "CCNE").distribute(g)
+        assert assignment.release("b") >= 100.0 - 1e-9
+
+    def test_adapt_with_interior_anchor(self):
+        g = interior_deadline_graph()
+        assignment = ast("ADAPT").distribute(g, n_processors=2)
+        assert assignment.absolute_deadline("b") <= 40.0 + 1e-9
+
+
+class TestUnrolledPeriodicTasks:
+    def build(self):
+        t1 = TaskGraph("t1")
+        t1.add_subtask("a", wcet=5.0, release=0.0, end_to_end_deadline=10.0)
+        t2 = TaskGraph("t2")
+        t2.add_subtask("b", wcet=3.0, release=0.0, end_to_end_deadline=20.0)
+        return unroll(
+            [PeriodicTask("T1", t1, 10.0), PeriodicTask("T2", t2, 20.0)],
+            [CrossTaskArc("T1", "a", "T2", "b", message_size=4.0)],
+        )
+
+    def test_producer_keeps_its_own_deadline(self):
+        g = self.build()
+        # T1#0:a has a consumer (T2#0:b) yet keeps its own deadline 10.
+        assert g.node("T1#0:a").end_to_end_deadline == 10.0
+        assignment = bst("PURE", "CCNE").distribute(g)
+        assert assignment.absolute_deadline("T1#0:a") <= 10.0 + 1e-9
+        assert validate_assignment(assignment).ok
+
+    def test_schedule_meets_both_tasks_deadlines(self):
+        g = self.build()
+        assignment = bst("PURE", "CCNE").distribute(g)
+        schedule = ListScheduler(System(2)).schedule(g, assignment)
+        schedule.validate()
+        lateness = lateness_by_subtask(schedule, assignment)
+        assert all(v <= 1e-9 for v in lateness.values()), lateness

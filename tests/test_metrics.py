@@ -1,0 +1,187 @@
+"""Laxity-ratio metrics: formulas, virtual costs, telescoping."""
+
+import pytest
+
+from repro.core.commcost import CCNE
+from repro.core.expanded import ENode, ExpandedGraph
+from repro.core.metrics import (
+    AdaptiveLaxityRatio,
+    MetricContext,
+    NormalizedLaxityRatio,
+    PureLaxityRatio,
+    ThresholdLaxityRatio,
+    make_metric,
+)
+from repro.errors import ValidationError
+from repro.graph.taskgraph import TaskGraph
+
+
+def task_node(cost: float, eid: str = "t") -> ENode:
+    return ENode(eid=eid, kind="task", cost=cost, task_id=eid)
+
+
+def comm_node(cost: float) -> ENode:
+    return ENode(eid="chi(a->b)", kind="comm", cost=cost, edge=("a", "b"))
+
+
+def chain_context(n_processors=None):
+    g = TaskGraph()
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=30.0)
+    g.add_subtask("c", wcet=20.0, end_to_end_deadline=120.0)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    expanded = ExpandedGraph(g, CCNE())
+    return expanded, MetricContext(graph=g, n_processors=n_processors)
+
+
+class TestPure:
+    def test_ratio_equal_share(self):
+        m = PureLaxityRatio()
+        # D=120, C=60, n=3 -> slack 60 split three ways.
+        assert m.ratio(120.0, 60.0, 3) == 20.0
+
+    def test_relative_deadline(self):
+        m = PureLaxityRatio()
+        assert m.relative_deadline(task_node(10.0), 20.0) == 30.0
+
+    def test_telescoping(self):
+        m = PureLaxityRatio()
+        costs = [10.0, 30.0, 20.0]
+        ratio = m.ratio(120.0, sum(costs), len(costs))
+        total = sum(m.relative_deadline(task_node(c), ratio) for c in costs)
+        assert total == pytest.approx(120.0)
+
+    def test_negative_slack(self):
+        m = PureLaxityRatio()
+        assert m.ratio(50.0, 60.0, 2) == -5.0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValidationError):
+            PureLaxityRatio().ratio(10.0, 0.0, 0)
+
+
+class TestNorm:
+    def test_ratio_proportional(self):
+        m = NormalizedLaxityRatio()
+        assert m.ratio(120.0, 60.0, 3) == 1.0  # (120-60)/60
+
+    def test_relative_deadline_scales_cost(self):
+        m = NormalizedLaxityRatio()
+        assert m.relative_deadline(task_node(10.0), 1.0) == 20.0
+
+    def test_telescoping(self):
+        m = NormalizedLaxityRatio()
+        costs = [10.0, 30.0, 20.0]
+        ratio = m.ratio(90.0, sum(costs), len(costs))
+        total = sum(m.relative_deadline(task_node(c), ratio) for c in costs)
+        assert total == pytest.approx(90.0)
+
+    def test_zero_cost_path_rejected(self):
+        with pytest.raises(ValidationError):
+            NormalizedLaxityRatio().ratio(10.0, 0.0, 2)
+
+    def test_does_not_use_count(self):
+        assert NormalizedLaxityRatio.uses_count is False
+        assert PureLaxityRatio.uses_count is True
+
+
+class TestThres:
+    def test_virtual_cost_above_threshold(self):
+        m = ThresholdLaxityRatio(surplus=1.0, threshold=25.0)
+        expanded, context = chain_context()
+        m.prepare(expanded, context)
+        assert m.virtual_cost(task_node(30.0)) == 60.0
+        assert m.virtual_cost(task_node(20.0)) == 20.0
+
+    def test_threshold_boundary_inclusive(self):
+        m = ThresholdLaxityRatio(surplus=1.0, threshold=25.0)
+        m.prepare(*chain_context())
+        assert m.virtual_cost(task_node(25.0)) == 50.0
+
+    def test_default_threshold_from_met(self):
+        # Chain MET = 20 -> threshold 1.25 * 20 = 25.
+        m = ThresholdLaxityRatio(surplus=1.0)
+        m.prepare(*chain_context())
+        assert m.virtual_cost(task_node(24.9)) == 24.9
+        assert m.virtual_cost(task_node(25.1)) == pytest.approx(50.2)
+
+    def test_comm_nodes_never_inflated(self):
+        m = ThresholdLaxityRatio(surplus=1.0, threshold=1.0)
+        m.prepare(*chain_context())
+        assert m.virtual_cost(comm_node(100.0)) == 100.0
+
+    def test_telescoping_with_virtual_costs(self):
+        m = ThresholdLaxityRatio(surplus=1.0, threshold=25.0)
+        m.prepare(*chain_context())
+        nodes = [task_node(10.0, "a"), task_node(30.0, "b"), task_node(20.0, "c")]
+        virtual = sum(m.virtual_cost(n) for n in nodes)
+        ratio = m.ratio(120.0, virtual, len(nodes))
+        total = sum(m.relative_deadline(n, ratio) for n in nodes)
+        assert total == pytest.approx(120.0)
+
+    def test_bad_params(self):
+        with pytest.raises(ValidationError):
+            ThresholdLaxityRatio(surplus=-1.0)
+        with pytest.raises(ValidationError):
+            ThresholdLaxityRatio(threshold=-5.0)
+        with pytest.raises(ValidationError):
+            ThresholdLaxityRatio(threshold_factor=0.0)
+
+
+class TestAdapt:
+    def test_surplus_is_parallelism_over_processors(self):
+        m = AdaptiveLaxityRatio(threshold=25.0)
+        expanded, context = chain_context(n_processors=2)
+        m.prepare(expanded, context)
+        # Chain graph: parallelism 1 -> surplus 0.5 on 2 processors.
+        assert m.effective_surplus == pytest.approx(0.5)
+        assert m.virtual_cost(task_node(30.0)) == pytest.approx(45.0)
+
+    def test_surplus_fades_with_system_size(self):
+        m = AdaptiveLaxityRatio(threshold=25.0)
+        expanded, context = chain_context(n_processors=100)
+        m.prepare(expanded, context)
+        assert m.effective_surplus == pytest.approx(0.01)
+
+    def test_requires_system_size(self):
+        m = AdaptiveLaxityRatio()
+        expanded, context = chain_context(n_processors=None)
+        with pytest.raises(ValidationError, match="n_processors"):
+            m.prepare(expanded, context)
+
+    def test_rejects_zero_processors(self):
+        m = AdaptiveLaxityRatio()
+        expanded, context = chain_context(n_processors=0)
+        with pytest.raises(ValidationError):
+            m.prepare(expanded, context)
+
+
+class TestContext:
+    def test_context_facts(self):
+        _, context = chain_context(n_processors=4)
+        assert context.mean_execution_time == 20.0
+        assert context.average_parallelism == 1.0
+        assert context.n_processors == 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("PURE", PureLaxityRatio),
+            ("norm", NormalizedLaxityRatio),
+            ("Thres", ThresholdLaxityRatio),
+            ("ADAPT", AdaptiveLaxityRatio),
+        ],
+    )
+    def test_make(self, name, cls):
+        assert isinstance(make_metric(name), cls)
+
+    def test_make_with_kwargs(self):
+        m = make_metric("THRES", surplus=4.0)
+        assert m.surplus == 4.0
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            make_metric("BOGUS")

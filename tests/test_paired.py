@@ -1,0 +1,124 @@
+"""Paired statistical comparison of methods."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.feast.aggregate import PairedComparison, paired_comparison
+from repro.feast.runner import TrialRecord
+
+
+def record(method, index, lateness, scenario="MDET", size=2):
+    return TrialRecord(
+        experiment="e",
+        scenario=scenario,
+        n_processors=size,
+        method=method,
+        graph_index=index,
+        max_lateness=lateness,
+        mean_lateness=lateness / 2,
+        n_late=0,
+        makespan=100.0,
+        mean_utilization=0.5,
+        min_laxity=5.0,
+    )
+
+
+class TestPairing:
+    def test_pairs_by_graph_index(self):
+        records = [
+            record("A", 0, -10.0), record("B", 0, -14.0),
+            record("A", 1, -20.0), record("B", 1, -22.0),
+        ]
+        pc = paired_comparison(records, "A", "B")
+        assert pc.n == 2
+        assert pc.mean_diff == pytest.approx(-3.0)  # B better by 3
+
+    def test_unmatched_records_dropped(self):
+        records = [
+            record("A", 0, -10.0), record("B", 0, -14.0),
+            record("A", 1, -20.0),  # no B partner
+            record("B", 2, -30.0),  # no A partner
+        ]
+        pc = paired_comparison(records, "A", "B")
+        assert pc.n == 1
+
+    def test_cells_kept_separate(self):
+        # Same graph index in different cells must not cross-pair.
+        records = [
+            record("A", 0, -10.0, size=2), record("B", 0, -12.0, size=2),
+            record("A", 0, -50.0, size=4), record("B", 0, -58.0, size=4),
+        ]
+        pc = paired_comparison(records, "A", "B")
+        assert pc.n == 2
+        assert pc.mean_diff == pytest.approx((-2.0 + -8.0) / 2)
+
+    def test_filters(self):
+        records = [
+            record("A", 0, -10.0, scenario="LDET"),
+            record("B", 0, -12.0, scenario="LDET"),
+            record("A", 0, -10.0, scenario="HDET"),
+            record("B", 0, -20.0, scenario="HDET"),
+        ]
+        pc = paired_comparison(records, "A", "B", scenario="HDET")
+        assert pc.n == 1
+        assert pc.mean_diff == pytest.approx(-10.0)
+
+    def test_no_pairs_raises(self):
+        with pytest.raises(ExperimentError):
+            paired_comparison([record("A", 0, -1.0)], "A", "B")
+
+
+class TestStatistics:
+    def test_identical_methods_not_significant(self):
+        records = []
+        for i in range(10):
+            records.append(record("A", i, -10.0 - i))
+            records.append(record("B", i, -10.0 - i))
+        pc = paired_comparison(records, "A", "B")
+        assert pc.mean_diff == 0.0
+        assert not pc.significant
+        assert pc.p_value == 1.0
+
+    def test_consistent_difference_is_significant(self):
+        records = []
+        for i in range(20):
+            base = -10.0 - i
+            records.append(record("A", i, base))
+            records.append(record("B", i, base - 5.0 - 0.1 * (i % 3)))
+        pc = paired_comparison(records, "A", "B")
+        assert pc.mean_diff < -4.9
+        assert pc.significant
+        assert pc.p_value < 1e-6
+        lo, hi = pc.ci95
+        assert lo < pc.mean_diff < hi < 0
+
+    def test_noisy_difference_not_significant(self):
+        records = []
+        for i in range(10):
+            records.append(record("A", i, -10.0))
+            # B alternates better/worse: mean diff ~0.
+            records.append(record("B", i, -10.0 + (5.0 if i % 2 else -5.0)))
+        pc = paired_comparison(records, "A", "B")
+        assert not pc.significant
+
+    def test_constant_nonzero_difference(self):
+        # Zero variance, nonzero mean: maximally significant.
+        records = []
+        for i in range(5):
+            records.append(record("A", i, -10.0))
+            records.append(record("B", i, -15.0))
+        pc = paired_comparison(records, "A", "B")
+        assert pc.p_value == 0.0
+        assert math.isinf(pc.t_statistic)
+        assert pc.significant
+
+    def test_custom_value_function(self):
+        records = [
+            record("A", 0, -10.0), record("B", 0, -12.0),
+        ]
+        pc = paired_comparison(
+            records, "A", "B", value=lambda r: r.makespan
+        )
+        assert pc.mean_diff == 0.0  # same makespan field

@@ -1,0 +1,86 @@
+"""Deterministic regressions of the paper's headline shapes.
+
+The benchmark suite asserts these claims at scale; this module pins them
+at a small fixed-seed scale inside the fast test suite, so a behavioural
+regression in any layer (generator, metrics, slicer, scheduler) surfaces
+in `pytest tests/` rather than only in a benchmark run. Every number here
+is deterministic: fixed seeds, deterministic tie-breaking.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import ast, bst
+from repro.graph import RandomGraphConfig, generate_task_graphs
+from repro.machine import System
+from repro.sched import ListScheduler, max_lateness
+
+N_GRAPHS = 16
+SEED = 11
+
+
+def mean_max_lateness(graphs, distributor, n_processors):
+    values = []
+    for graph in graphs:
+        assignment = distributor.distribute(graph, n_processors=n_processors)
+        schedule = ListScheduler(System(n_processors)).schedule(
+            graph, assignment
+        )
+        values.append(max_lateness(schedule, assignment))
+    return statistics.mean(values)
+
+
+@pytest.fixture(scope="module")
+def hdet():
+    return generate_task_graphs(
+        N_GRAPHS, RandomGraphConfig().with_scenario("HDET"), seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def mdet():
+    return generate_task_graphs(
+        N_GRAPHS, RandomGraphConfig().with_scenario("MDET"), seed=SEED
+    )
+
+
+class TestFigure2Shapes:
+    def test_ccne_beats_ccaa(self, hdet):
+        ccne = mean_max_lateness(hdet, bst("PURE", "CCNE"), 2)
+        ccaa = mean_max_lateness(hdet, bst("PURE", "CCAA"), 2)
+        assert ccne < ccaa - 30  # decisive, not marginal
+
+    def test_lateness_improves_with_system_size(self, hdet):
+        small = mean_max_lateness(hdet, bst("PURE", "CCNE"), 2)
+        large = mean_max_lateness(hdet, bst("PURE", "CCNE"), 16)
+        assert large < small - 10
+
+    def test_norm_collapses_under_hdet(self, hdet):
+        norm = mean_max_lateness(hdet, bst("NORM", "CCNE"), 8)
+        pure = mean_max_lateness(hdet, bst("PURE", "CCNE"), 8)
+        assert pure < norm - 15
+
+
+class TestFigure5Shapes:
+    def test_adapt_beats_pure_on_small_systems_hdet(self, hdet):
+        adapt = mean_max_lateness(hdet, ast("ADAPT"), 2)
+        pure = mean_max_lateness(hdet, bst("PURE", "CCNE"), 2)
+        assert adapt < pure - 3
+
+    def test_adapt_tracks_pure_at_saturation(self, hdet):
+        adapt = mean_max_lateness(hdet, ast("ADAPT"), 16)
+        pure = mean_max_lateness(hdet, bst("PURE", "CCNE"), 16)
+        assert abs(adapt - pure) <= 0.05 * abs(pure)
+
+    def test_thres_crosses_below_pure_at_saturation(self, mdet):
+        thres = mean_max_lateness(mdet, ast("THRES", surplus=1.0), 16)
+        pure = mean_max_lateness(mdet, bst("PURE", "CCNE"), 16)
+        assert thres > pure + 2
+
+
+class TestFigure3Shape:
+    def test_large_surplus_detrimental_at_saturation(self, mdet):
+        small_delta = mean_max_lateness(mdet, ast("THRES", surplus=1.0), 16)
+        big_delta = mean_max_lateness(mdet, ast("THRES", surplus=4.0), 16)
+        assert small_delta < big_delta - 5

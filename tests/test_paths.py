@@ -1,0 +1,120 @@
+"""Path utilities: longest path, parallelism, depth, enumeration."""
+
+import pytest
+
+from repro.errors import UnknownNodeError, ValidationError
+from repro.graph import paths
+from repro.graph.taskgraph import TaskGraph
+
+
+def build_dag():
+    r"""a -> {b(5), c(20)} -> d; plus isolated-ish chain e -> d.
+
+        a(10) -> b(5)  -> d(10)
+        a(10) -> c(20) -> d(10)
+        e(1)  -> d(10)
+    """
+    g = TaskGraph()
+    g.add_subtask("a", wcet=10.0, release=0.0)
+    g.add_subtask("b", wcet=5.0)
+    g.add_subtask("c", wcet=20.0)
+    g.add_subtask("d", wcet=10.0, end_to_end_deadline=100.0)
+    g.add_subtask("e", wcet=1.0, release=0.0)
+    g.add_edge("a", "b", message_size=2.0)
+    g.add_edge("a", "c", message_size=2.0)
+    g.add_edge("b", "d", message_size=2.0)
+    g.add_edge("c", "d", message_size=100.0)
+    g.add_edge("e", "d", message_size=2.0)
+    return g
+
+
+class TestLongestPath:
+    def test_length(self):
+        assert paths.longest_path_length(build_dag()) == 40.0  # a c d
+
+    def test_concrete_path(self):
+        assert paths.longest_path(build_dag()) == ["a", "c", "d"]
+
+    def test_with_messages(self):
+        # a->c (2) ->d (100): 10+20+10 + 102 = 142
+        assert paths.longest_path_length(build_dag(), include_messages=True) == 142.0
+        assert paths.longest_path(build_dag(), include_messages=True) == [
+            "a", "c", "d",
+        ]
+
+    def test_single_node(self):
+        g = TaskGraph()
+        g.add_subtask("only", wcet=7.0, release=0.0, end_to_end_deadline=10.0)
+        assert paths.longest_path_length(g) == 7.0
+        assert paths.longest_path(g) == ["only"]
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValidationError):
+            paths.longest_path_length(TaskGraph())
+        with pytest.raises(ValidationError):
+            paths.longest_path(TaskGraph())
+
+
+class TestParallelismAndDepth:
+    def test_average_parallelism(self):
+        g = build_dag()
+        assert paths.average_parallelism(g) == pytest.approx(46.0 / 40.0)
+
+    def test_chain_parallelism_is_one(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=3.0, release=0.0)
+        g.add_subtask("b", wcet=4.0, end_to_end_deadline=20.0)
+        g.add_edge("a", "b")
+        assert paths.average_parallelism(g) == 1.0
+
+    def test_depth(self):
+        assert paths.graph_depth(build_dag()) == 3
+
+    def test_levels(self):
+        levels = paths.level_of(build_dag())
+        assert levels["a"] == 1
+        assert levels["b"] == levels["c"] == 2
+        assert levels["d"] == 3
+        assert levels["e"] == 1
+
+    def test_depth_empty(self):
+        with pytest.raises(ValidationError):
+            paths.graph_depth(TaskGraph())
+
+
+class TestEnumerate:
+    def test_all_paths(self):
+        found = sorted(paths.enumerate_paths(build_dag(), "a", "d"))
+        assert found == [["a", "b", "d"], ["a", "c", "d"]]
+
+    def test_limit(self):
+        found = list(paths.enumerate_paths(build_dag(), "a", "d", limit=1))
+        assert len(found) == 1
+
+    def test_no_path(self):
+        assert list(paths.enumerate_paths(build_dag(), "e", "b")) == []
+
+    def test_same_node(self):
+        assert list(paths.enumerate_paths(build_dag(), "a", "a")) == [["a"]]
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(UnknownNodeError):
+            list(paths.enumerate_paths(build_dag(), "zzz", "d"))
+
+
+class TestPathHelpers:
+    def test_execution_time(self):
+        g = build_dag()
+        assert paths.path_execution_time(g, ["a", "c", "d"]) == 40.0
+
+    def test_message_volume(self):
+        g = build_dag()
+        assert paths.path_message_volume(g, ["a", "c", "d"]) == 102.0
+
+    def test_is_path(self):
+        g = build_dag()
+        assert paths.is_path(g, ["a", "c", "d"])
+        assert not paths.is_path(g, ["a", "d"])
+        assert not paths.is_path(g, [])
+        assert not paths.is_path(g, ["zzz"])
+        assert paths.is_path(g, ["a"])

@@ -1,0 +1,114 @@
+"""Periodic task support: hyperperiod and LCM unrolling."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.periodic import CrossTaskArc, PeriodicTask, hyperperiod, unroll
+from repro.graph.taskgraph import TaskGraph
+
+
+def single_node_task(name: str, wcet: float, deadline: float) -> TaskGraph:
+    g = TaskGraph(name=name)
+    g.add_subtask("n", wcet=wcet, release=0.0, end_to_end_deadline=deadline)
+    return g
+
+
+class TestHyperperiod:
+    def test_integers(self):
+        assert hyperperiod([10, 20, 40]) == 40.0
+        assert hyperperiod([3, 5]) == 15.0
+
+    def test_single(self):
+        assert hyperperiod([7]) == 7.0
+
+    def test_fractions(self):
+        assert hyperperiod([0.5, 0.75]) == pytest.approx(1.5)
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            hyperperiod([])
+
+
+class TestPeriodicTask:
+    def test_deadline_must_fit_period(self):
+        g = single_node_task("t", wcet=5.0, deadline=30.0)
+        with pytest.raises(ValidationError, match="period"):
+            PeriodicTask("T", g, period=20.0)
+
+    def test_ok(self):
+        g = single_node_task("t", wcet=5.0, deadline=10.0)
+        assert PeriodicTask("T", g, period=20.0).period == 20.0
+
+    def test_nonpositive_period(self):
+        g = single_node_task("t", wcet=5.0, deadline=10.0)
+        with pytest.raises(ValidationError):
+            PeriodicTask("T", g, period=0.0)
+
+
+class TestUnroll:
+    def test_instance_counts(self):
+        t1 = PeriodicTask("A", single_node_task("a", 2.0, 8.0), period=10.0)
+        t2 = PeriodicTask("B", single_node_task("b", 3.0, 15.0), period=20.0)
+        out = unroll([t1, t2])
+        # hyperperiod 20: two A instances, one B instance.
+        assert out.n_subtasks == 3
+        assert "A#0:n" in out and "A#1:n" in out and "B#0:n" in out
+
+    def test_instance_anchors_shift_by_period(self):
+        t1 = PeriodicTask("A", single_node_task("a", 2.0, 8.0), period=10.0)
+        t2 = PeriodicTask("B", single_node_task("b", 3.0, 15.0), period=20.0)
+        out = unroll([t1, t2])
+        assert out.node("A#0:n").release == 0.0
+        assert out.node("A#0:n").end_to_end_deadline == 8.0
+        assert out.node("A#1:n").release == 10.0
+        assert out.node("A#1:n").end_to_end_deadline == 18.0
+
+    def test_intra_task_edges_replicated(self):
+        g = TaskGraph("t")
+        g.add_subtask("x", wcet=1.0, release=0.0)
+        g.add_subtask("y", wcet=1.0, end_to_end_deadline=5.0)
+        g.add_edge("x", "y", message_size=2.0)
+        out = unroll([PeriodicTask("A", g, period=5.0)])
+        assert out.has_edge("A#0:x", "A#0:y")
+        assert out.message("A#0:x", "A#0:y").size == 2.0
+
+    def test_cross_task_arc_rate_transition(self):
+        # Producer period 10 (2 instances), consumer period 20 (1 instance):
+        # only A#0 (window [0,10)) feeds B#0 (released at 0).
+        t1 = PeriodicTask("A", single_node_task("a", 2.0, 8.0), period=10.0)
+        t2 = PeriodicTask("B", single_node_task("b", 3.0, 15.0), period=20.0)
+        out = unroll(
+            [t1, t2], [CrossTaskArc("A", "n", "B", "n", message_size=1.0)]
+        )
+        assert out.has_edge("A#0:n", "B#0:n")
+        assert not out.has_edge("A#1:n", "B#0:n")
+
+    def test_cross_task_arc_fan_out(self):
+        # Producer period 20 feeds both consumer instances of period 10.
+        t1 = PeriodicTask("A", single_node_task("a", 2.0, 18.0), period=20.0)
+        t2 = PeriodicTask("B", single_node_task("b", 3.0, 8.0), period=10.0)
+        out = unroll(
+            [t1, t2], [CrossTaskArc("A", "n", "B", "n")]
+        )
+        assert out.has_edge("A#0:n", "B#0:n")
+        assert out.has_edge("A#0:n", "B#1:n")
+
+    def test_duplicate_names_rejected(self):
+        t = PeriodicTask("A", single_node_task("a", 1.0, 4.0), period=5.0)
+        with pytest.raises(ValidationError, match="unique"):
+            unroll([t, t])
+
+    def test_unknown_arc_endpoints_rejected(self):
+        t1 = PeriodicTask("A", single_node_task("a", 2.0, 8.0), period=10.0)
+        with pytest.raises(ValidationError):
+            unroll([t1], [CrossTaskArc("A", "n", "ZZ", "n")])
+        with pytest.raises(ValidationError):
+            unroll([t1, t1_copy("B")], [CrossTaskArc("A", "zzz", "B", "n")])
+
+    def test_empty_task_set_rejected(self):
+        with pytest.raises(ValidationError):
+            unroll([])
+
+
+def t1_copy(name: str) -> PeriodicTask:
+    return PeriodicTask(name, single_node_task("n2", 2.0, 8.0), period=10.0)

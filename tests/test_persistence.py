@@ -1,0 +1,106 @@
+"""Result persistence and run comparison."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.feast.config import ExperimentConfig, MethodSpec
+from repro.feast.persistence import (
+    compare,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.feast.runner import ExperimentResult, TrialRecord, run_experiment
+from repro.graph.generator import RandomGraphConfig
+
+
+def small_config(seed=1):
+    return ExperimentConfig(
+        name="persist",
+        description="persistence test",
+        methods=(
+            MethodSpec(label="PURE", metric="PURE"),
+            MethodSpec(label="UD", metric="PURE", baseline="UD"),
+        ),
+        graph_config=RandomGraphConfig(
+            n_subtasks_range=(10, 12), depth_range=(3, 4)
+        ),
+        scenarios=("MDET",),
+        n_graphs=2,
+        system_sizes=(2, 4),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(small_config())
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, result):
+        back = result_from_dict(result_to_dict(result))
+        assert back.config.name == "persist"
+        assert [m.label for m in back.config.methods] == ["PURE", "UD"]
+        assert back.config.methods[1].baseline == "UD"
+        assert len(back) == len(result)
+        assert back.records[0] == result.records[0]
+        assert back.elapsed_seconds == result.elapsed_seconds
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = str(tmp_path / "r.json")
+        save_result(result, path)
+        back = load_result(path)
+        assert [r.max_lateness for r in back.records] == [
+            r.max_lateness for r in result.records
+        ]
+
+    def test_wrong_format(self):
+        with pytest.raises(SerializationError):
+            result_from_dict({"format": "other"})
+
+    def test_wrong_version(self, result):
+        doc = result_to_dict(result)
+        doc["version"] = 99
+        with pytest.raises(SerializationError):
+            result_from_dict(doc)
+
+    def test_malformed_records(self, result):
+        doc = result_to_dict(result)
+        del doc["records"][0]["max_lateness"]
+        with pytest.raises(SerializationError):
+            result_from_dict(doc)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SerializationError):
+            load_result(str(path))
+
+
+class TestCompare:
+    def test_identical_runs_no_deltas(self, result):
+        again = run_experiment(small_config())
+        assert compare(result, again, threshold=0.0) == []
+
+    def test_different_seeds_produce_deltas(self, result):
+        other = run_experiment(small_config(seed=2))
+        deltas = compare(result, other, threshold=0.0)
+        assert deltas
+        # Sorted worst-regression-first.
+        values = [d.delta for d in deltas]
+        assert values == sorted(values, reverse=True)
+        d = deltas[0]
+        assert d.after - d.before == pytest.approx(d.delta)
+
+    def test_threshold_filters(self, result):
+        other = run_experiment(small_config(seed=2))
+        all_deltas = compare(result, other, threshold=0.0)
+        filtered = compare(result, other, threshold=1e9)
+        assert len(filtered) <= len(all_deltas)
+        assert filtered == []
+
+    def test_disjoint_keys_ignored(self, result):
+        empty = ExperimentResult(config=small_config())
+        assert compare(result, empty) == []

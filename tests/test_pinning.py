@@ -1,0 +1,90 @@
+"""Locality-constraint utilities."""
+
+import random
+
+import pytest
+
+from repro.core.pinning import (
+    pin_boundary_subtasks,
+    pin_random_fraction,
+    pin_subtasks,
+    pinned_fraction,
+    validate_pins,
+)
+from repro.errors import ValidationError
+from repro.graph.taskgraph import TaskGraph
+
+
+class TestPinSubtasks:
+    def test_returns_pinned_copy(self, diamond_graph):
+        pinned = pin_subtasks(diamond_graph, {"a": 0, "d": 1})
+        assert pinned.node("a").pinned_to == 0
+        assert pinned.node("d").pinned_to == 1
+        # Original untouched.
+        assert diamond_graph.node("a").pinned_to is None
+
+    def test_unknown_subtask(self, diamond_graph):
+        with pytest.raises(ValidationError):
+            pin_subtasks(diamond_graph, {"zzz": 0})
+
+    def test_negative_processor(self, diamond_graph):
+        with pytest.raises(ValidationError):
+            pin_subtasks(diamond_graph, {"a": -1})
+
+
+class TestPinRandomFraction:
+    def test_fraction_zero(self, random_graph):
+        pinned = pin_random_fraction(random_graph, 0.0, 4, rng=random.Random(0))
+        assert pinned.pinned_subtasks() == []
+
+    def test_fraction_one(self, random_graph):
+        pinned = pin_random_fraction(random_graph, 1.0, 4, rng=random.Random(0))
+        assert len(pinned.pinned_subtasks()) == pinned.n_subtasks
+        assert pinned_fraction(pinned) == 1.0
+
+    def test_fraction_half(self, random_graph):
+        pinned = pin_random_fraction(random_graph, 0.5, 4, rng=random.Random(0))
+        assert pinned_fraction(pinned) == pytest.approx(0.5, abs=0.05)
+        for n in pinned.pinned_subtasks():
+            assert 0 <= pinned.node(n).pinned_to < 4
+
+    def test_bad_fraction(self, random_graph):
+        with pytest.raises(ValidationError):
+            pin_random_fraction(random_graph, 1.5, 4)
+
+    def test_bad_processors(self, random_graph):
+        with pytest.raises(ValidationError):
+            pin_random_fraction(random_graph, 0.5, 0)
+
+    def test_deterministic(self, random_graph):
+        a = pin_random_fraction(random_graph, 0.3, 4, rng=random.Random(7))
+        b = pin_random_fraction(random_graph, 0.3, 4, rng=random.Random(7))
+        assert a.pinned_subtasks() == b.pinned_subtasks()
+
+
+class TestPinBoundary:
+    def test_exactly_boundary_pinned(self, diamond_graph):
+        pinned = pin_boundary_subtasks(diamond_graph, 2, rng=random.Random(0))
+        assert sorted(pinned.pinned_subtasks()) == ["a", "d"]
+
+    def test_sensor_actuator_pattern(self, random_graph):
+        pinned = pin_boundary_subtasks(random_graph, 4, rng=random.Random(0))
+        boundary = set(random_graph.input_subtasks()) | set(
+            random_graph.output_subtasks()
+        )
+        assert set(pinned.pinned_subtasks()) == boundary
+
+
+class TestValidatePins:
+    def test_ok(self, diamond_graph):
+        pinned = pin_subtasks(diamond_graph, {"a": 1})
+        validate_pins(pinned, n_processors=2)
+
+    def test_out_of_range(self, diamond_graph):
+        pinned = pin_subtasks(diamond_graph, {"a": 5})
+        with pytest.raises(ValidationError, match="only 2 processors"):
+            validate_pins(pinned, n_processors=2)
+
+    def test_pinned_fraction_empty(self):
+        with pytest.raises(ValidationError):
+            pinned_fraction(TaskGraph())

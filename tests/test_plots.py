@@ -1,0 +1,83 @@
+"""ASCII plot rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.feast.config import ExperimentConfig, MethodSpec
+from repro.feast.plots import lateness_plot, render_plot
+from repro.feast.runner import run_experiment
+from repro.graph.generator import RandomGraphConfig
+
+
+class TestRenderPlot:
+    def test_contains_markers_axes_legend(self):
+        text = render_plot(
+            {"A": [(0, 0.0), (1, 1.0)], "B": [(0, 1.0), (1, 0.0)]},
+            width=20,
+            height=8,
+            title="T",
+            x_label="size",
+            y_label="lat",
+        )
+        assert text.splitlines()[0] == "T"
+        assert "o=A" in text and "x=B" in text
+        assert "(lat)" in text
+        assert "size" in text
+        assert "o" in text and "x" in text
+        assert "+" + "-" * 20 in text
+
+    def test_y_axis_annotated(self):
+        # The frame adds 5% headroom: [-20, -10] renders as [-20.5, -9.5].
+        text = render_plot({"A": [(0, -10.0), (4, -20.0)]}, width=20, height=8)
+        assert "-9.5" in text
+        assert "-20.5" in text
+
+    def test_single_point_series(self):
+        # Degenerate ranges must not divide by zero.
+        text = render_plot({"A": [(2, 5.0)]}, width=10, height=5)
+        assert "o" in text
+
+    def test_interpolation_dots_connect_points(self):
+        text = render_plot({"A": [(0, 0.0), (10, 0.0)]}, width=30, height=5)
+        row = next(line for line in text.splitlines() if "o" in line)
+        assert "." in row  # the connecting segment
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_plot({})
+        with pytest.raises(ExperimentError):
+            render_plot({"A": []})
+
+    def test_many_series_cycle_markers(self):
+        curves = {f"m{i}": [(0, float(i)), (1, float(i))] for i in range(10)}
+        text = render_plot(curves, width=20, height=12)
+        assert "#=m4" in text
+        assert "o=m8" in text  # marker cycle wraps
+
+
+class TestLatenessPlot:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = ExperimentConfig(
+            name="plotme",
+            description="plot test",
+            methods=(MethodSpec(label="PURE", metric="PURE"),),
+            graph_config=RandomGraphConfig(
+                n_subtasks_range=(10, 12), depth_range=(3, 4)
+            ),
+            scenarios=("MDET",),
+            n_graphs=2,
+            system_sizes=(2, 4, 8),
+            seed=1,
+        )
+        return run_experiment(cfg)
+
+    def test_plot_from_result(self, result):
+        text = lateness_plot(result, "MDET")
+        assert "plotme" in text
+        assert "o=PURE" in text
+        assert "processors" in text
+
+    def test_method_subset(self, result):
+        text = lateness_plot(result, "MDET", methods=["PURE"])
+        assert "o=PURE" in text

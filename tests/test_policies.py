@@ -1,0 +1,78 @@
+"""Ready-list selection policies."""
+
+import pytest
+
+from repro.core.annotations import DeadlineAssignment, Window
+from repro.errors import ValidationError
+from repro.graph.taskgraph import TaskGraph
+from repro.sched.policies import (
+    POLICIES,
+    EarliestDeadlineFirst,
+    EarliestReleaseFirst,
+    LeastLaxityFirst,
+    LongestProcessingTimeFirst,
+    RandomPolicy,
+    make_policy,
+)
+
+
+@pytest.fixture
+def setup():
+    g = TaskGraph()
+    g.add_subtask("x", wcet=10.0, release=0.0, end_to_end_deadline=100.0)
+    g.add_subtask("y", wcet=30.0, release=0.0, end_to_end_deadline=100.0)
+    assignment = DeadlineAssignment(
+        graph=g,
+        metric_name="TEST",
+        comm_strategy_name="TEST",
+        windows={
+            "x": Window(release=5.0, absolute_deadline=50.0, cost=10.0),
+            "y": Window(release=0.0, absolute_deadline=60.0, cost=30.0),
+        },
+        message_windows={},
+    )
+    return g, assignment
+
+
+def test_edf_key_is_absolute_deadline(setup):
+    g, a = setup
+    policy = EarliestDeadlineFirst()
+    assert policy.key("x", g, a) < policy.key("y", g, a)
+
+
+def test_llf_key_is_window_laxity(setup):
+    g, a = setup
+    policy = LeastLaxityFirst()
+    # laxity(x) = 45-10 = 35; laxity(y) = 60-30 = 30 -> y first.
+    assert policy.key("y", g, a) < policy.key("x", g, a)
+
+
+def test_erf_key_is_release(setup):
+    g, a = setup
+    policy = EarliestReleaseFirst()
+    assert policy.key("y", g, a) < policy.key("x", g, a)
+
+
+def test_lpt_key_is_negative_wcet(setup):
+    g, a = setup
+    policy = LongestProcessingTimeFirst()
+    assert policy.key("y", g, a) < policy.key("x", g, a)
+
+
+def test_random_policy_deterministic_per_seed(setup):
+    g, a = setup
+    p1 = RandomPolicy(seed=3)
+    p2 = RandomPolicy(seed=3)
+    p3 = RandomPolicy(seed=4)
+    assert p1.key("x", g, a) == p2.key("x", g, a)
+    assert p1.key("x", g, a) != p3.key("x", g, a)
+
+
+def test_factory_covers_registry():
+    for name in POLICIES:
+        assert make_policy(name).name == name
+
+
+def test_factory_unknown():
+    with pytest.raises(ValidationError):
+        make_policy("SJF")

@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies build random workloads through the library's own generator (it
+is itself under test elsewhere) and through a raw random-DAG strategy, then
+assert the invariants that must hold for *every* input:
+
+* deadline distribution covers every subtask with windows that are
+  precedence-consistent and respect the application anchors;
+* slicing telescopes: each slice's windows partition its end-to-end budget;
+* the scheduler never overlaps tasks on a processor or messages on a link,
+  and always respects precedence + transfer arrival;
+* link timelines never hand out overlapping slots.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ast, bst, validate_assignment
+from repro.graph import RandomGraphConfig, generate_task_graph
+from repro.graph.taskgraph import TaskGraph
+from repro.machine import System, make_interconnect
+from repro.sched import ListScheduler
+from repro.sched.bus import LinkTimeline
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_graph_configs(draw):
+    n_lo = draw(st.integers(min_value=5, max_value=15))
+    n_hi = n_lo + draw(st.integers(min_value=0, max_value=10))
+    d_lo = draw(st.integers(min_value=2, max_value=4))
+    # Every drawn depth must be placeable for every drawn subtask count.
+    d_hi = d_lo + draw(st.integers(min_value=0, max_value=max(0, n_lo - d_lo)))
+    d_hi = min(d_hi, n_lo)
+    return RandomGraphConfig(
+        n_subtasks_range=(n_lo, n_hi),
+        depth_range=(d_lo, d_hi),
+        execution_time_deviation=draw(
+            st.sampled_from([0.25, 0.5, 0.99])
+        ),
+        overall_laxity_ratio=draw(st.sampled_from([1.1, 1.5, 3.0])),
+        communication_to_computation_ratio=draw(
+            st.sampled_from([0.0, 0.5, 1.0, 2.0])
+        ),
+        olr_basis=draw(
+            st.sampled_from(["graph-workload", "path-workload"])
+        ),
+    )
+
+
+@st.composite
+def raw_dags(draw):
+    """A DAG built edge-by-edge (forward edges only), anchored by hand."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    g = TaskGraph()
+    for i in range(n):
+        g.add_subtask(
+            f"n{i:02d}",
+            wcet=draw(
+                st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+            ),
+        )
+    ids = g.node_ids()
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()) and draw(st.booleans()):
+                g.add_edge(
+                    ids[i],
+                    ids[j],
+                    message_size=draw(
+                        st.floats(min_value=0.0, max_value=30.0)
+                    ),
+                )
+    deadline = 3.0 * g.total_workload() + 10.0
+    for node_id in g.input_subtasks():
+        g.node(node_id).release = 0.0
+    for node_id in g.output_subtasks():
+        g.node(node_id).end_to_end_deadline = deadline
+    return g
+
+
+# ----------------------------------------------------------------------
+# Distribution invariants
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(config=small_graph_configs(), seed=st.integers(0, 10_000))
+def test_distribution_is_structurally_valid(config, seed):
+    graph = generate_task_graph(config, rng=random.Random(seed))
+    for distributor in (bst("PURE", "CCNE"), bst("NORM", "CCAA"), ast("ADAPT")):
+        assignment = distributor.distribute(graph, n_processors=3)
+        assert set(assignment.windows) == set(graph.node_ids())
+        report = validate_assignment(assignment)
+        # Precedence consistency and release anchors hold unconditionally;
+        # deadline anchors may give way in the over-constrained regime
+        # (degenerate windows), by documented design — see the slicer docs.
+        assert not report.missing_windows
+        assert not report.precedence_violations, report.precedence_violations[:3]
+        if not assignment.degenerate_windows():
+            assert report.ok, report.anchor_violations[:3]
+
+
+@SETTINGS
+@given(graph=raw_dags())
+def test_distribution_on_arbitrary_dags(graph):
+    assignment = bst("PURE", "CCAA").distribute(graph)
+    report = validate_assignment(assignment, check_paths=True, path_limit=500)
+    assert report.ok, (
+        report.precedence_violations[:3]
+        + report.anchor_violations[:3]
+        + report.path_violations[:3]
+    )
+
+
+@SETTINGS
+@given(graph=raw_dags())
+def test_slices_partition_their_budget(graph):
+    assignment = bst("PURE", "CCNE").distribute(graph)
+    for record in assignment.slices:
+        # Window chain of the slice spans exactly [release, deadline] ...
+        # unless clamping tightened it, which can only shrink the span.
+        first = record.nodes[0]
+        last = record.nodes[-1]
+        windows = assignment.windows
+        w_first = windows.get(first) or assignment.message_windows.get(
+            _edge_of(first)
+        )
+        w_last = windows.get(last) or assignment.message_windows.get(
+            _edge_of(last)
+        )
+        assert w_first.release >= record.release - 1e-6
+        assert w_last.absolute_deadline <= record.deadline + 1e-6
+
+
+def _edge_of(eid):
+    inner = eid[len("chi("):-1]
+    src, dst = inner.split("->")
+    return (src, dst)
+
+
+# ----------------------------------------------------------------------
+# Scheduling invariants
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    config=small_graph_configs(),
+    seed=st.integers(0, 10_000),
+    n_processors=st.integers(1, 6),
+    topology=st.sampled_from(["bus", "ring", "mesh", "ideal"]),
+)
+def test_schedule_always_consistent(config, seed, n_processors, topology):
+    graph = generate_task_graph(config, rng=random.Random(seed))
+    assignment = bst("PURE", "CCNE").distribute(graph)
+    system = System(
+        n_processors, interconnect=make_interconnect(topology, n_processors)
+    )
+    schedule = ListScheduler(system).schedule(graph, assignment)
+    schedule.validate()  # raises on any inconsistency
+    assert schedule.makespan() >= max(s.wcet for s in graph.nodes()) - 1e-9
+
+
+@SETTINGS
+@given(graph=raw_dags(), respect=st.booleans())
+def test_schedule_consistent_on_arbitrary_dags(graph, respect):
+    assignment = bst("PURE", "CCAA").distribute(graph)
+    schedule = ListScheduler(
+        System(2), respect_release_times=respect
+    ).schedule(graph, assignment)
+    schedule.validate()
+    if respect:
+        for node_id in graph.node_ids():
+            assert (
+                schedule.task(node_id).start
+                >= assignment.release(node_id) - 1e-6
+            )
+
+
+# ----------------------------------------------------------------------
+# Link timeline invariants
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_link_timeline_never_overlaps(requests):
+    timeline = LinkTimeline()
+    granted = []
+    for ready, duration in requests:
+        start = timeline.earliest_slot(ready, duration)
+        assert start >= ready
+        timeline.reserve(start, duration)  # must never raise
+        granted.append((start, start + duration))
+    granted.sort()
+    for (s1, f1), (s2, f2) in zip(granted, granted[1:]):
+        assert s2 >= f1 - 1e-9

@@ -1,0 +1,113 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.feast.config import ExperimentConfig, MethodSpec
+from repro.feast.reporting import (
+    improvement_section,
+    lateness_section,
+    render_report,
+)
+from repro.feast.runner import run_experiment
+from repro.graph.generator import RandomGraphConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = ExperimentConfig(
+        name="report-exp",
+        description="reporting test experiment",
+        methods=(
+            MethodSpec(label="PURE", metric="PURE"),
+            MethodSpec(label="ADAPT", metric="ADAPT"),
+        ),
+        graph_config=RandomGraphConfig(
+            n_subtasks_range=(10, 12), depth_range=(3, 4)
+        ),
+        scenarios=("MDET",),
+        n_graphs=4,
+        system_sizes=(2, 4),
+        seed=2,
+    )
+    return run_experiment(cfg)
+
+
+class TestLatenessSection:
+    def test_contains_tables_and_metadata(self, result):
+        text = lateness_section(result)
+        assert text.startswith("## report-exp")
+        assert "### MDET" in text
+        assert "| procs | PURE | ADAPT |" in text
+        assert "| 2 |" in text and "| 4 |" in text
+        assert "4 graphs/combination" in text
+
+    def test_values_are_formatted_floats(self, result):
+        text = lateness_section(result)
+        rows = [l for l in text.splitlines() if l.startswith("| 2 |")]
+        cells = rows[0].split("|")[2:4]
+        for cell in cells:
+            float(cell.strip())
+
+
+class TestImprovementSection:
+    def test_contains_relative_values(self, result):
+        text = improvement_section(result, "PURE")
+        assert "Improvement over PURE" in text
+        assert "%" in text
+        assert "ADAPT" in text
+
+    def test_unknown_baseline(self, result):
+        with pytest.raises(ExperimentError):
+            improvement_section(result, "NOPE")
+
+    def test_baseline_only_experiment_rejected(self):
+        cfg = ExperimentConfig(
+            name="solo",
+            description="d",
+            methods=(MethodSpec(label="PURE", metric="PURE"),),
+            graph_config=RandomGraphConfig(
+                n_subtasks_range=(8, 10), depth_range=(3, 4)
+            ),
+            scenarios=("MDET",),
+            n_graphs=1,
+            system_sizes=(2,),
+        )
+        solo = run_experiment(cfg)
+        with pytest.raises(ExperimentError):
+            improvement_section(solo, "PURE")
+
+
+class TestRenderReport:
+    def test_full_document(self, result):
+        text = render_report([result], title="My title", baseline="PURE")
+        assert text.startswith("# My title")
+        assert "## report-exp" in text
+        assert "Improvement over PURE" in text
+
+    def test_without_baseline(self, result):
+        text = render_report([result])
+        assert "Improvement over" not in text
+
+    def test_missing_baseline_skipped_gracefully(self, result):
+        text = render_report([result], baseline="NOT-THERE")
+        assert "Improvement over" not in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_report([])
+
+
+class TestCliIntegration:
+    def test_markdown_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main([
+            "run", "figure5", "--graphs", "2", "--sizes", "2", "--quiet",
+            "--markdown", str(out), "--baseline", "PURE",
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# Experiment report: figure5")
+        assert "Improvement over PURE" in text

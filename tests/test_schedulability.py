@@ -1,0 +1,161 @@
+"""Off-line schedulability analysis."""
+
+import pytest
+
+from repro.core.annotations import DeadlineAssignment, Window
+from repro.core.slicer import bst
+from repro.errors import ValidationError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedulability import (
+    analyze_placement,
+    analyze_platform,
+    min_processors_needed,
+)
+
+
+def manual(windows):
+    g = TaskGraph()
+    for node_id, w in windows.items():
+        g.add_subtask(
+            node_id, wcet=w.cost, release=0.0, end_to_end_deadline=1e9
+        )
+    return DeadlineAssignment(
+        graph=g,
+        metric_name="TEST",
+        comm_strategy_name="TEST",
+        windows=dict(windows),
+        message_windows={},
+    )
+
+
+class TestPlatformAnalysis:
+    def test_feasible_windows_pass(self):
+        a = manual({
+            "x": Window(0.0, 20.0, 10.0),
+            "y": Window(20.0, 40.0, 10.0),
+        })
+        report = analyze_platform(a, n_processors=1)
+        assert report.schedulable
+        assert report.min_processors == 1
+        report.raise_if_infeasible()  # no-op
+
+    def test_parallel_demand_needs_more_processors(self):
+        # Three unit-slack windows over the same interval: demand 30 in 10.
+        a = manual({
+            f"t{i}": Window(0.0, 10.0, 10.0) for i in range(3)
+        })
+        one = analyze_platform(a, n_processors=1)
+        assert not one.schedulable
+        assert one.violations[0].demand == 30.0
+        assert one.violations[0].capacity == 10.0
+        assert one.min_processors == 3
+        three = analyze_platform(a, n_processors=3)
+        assert three.schedulable
+
+    def test_degenerate_window_flagged(self):
+        a = manual({"x": Window(0.0, 5.0, 10.0)})
+        report = analyze_platform(a, n_processors=4)
+        assert report.degenerate_windows == ["x"]
+        assert not report.schedulable
+        with pytest.raises(ValidationError, match="degenerate"):
+            report.raise_if_infeasible()
+
+    def test_overlapping_but_satisfiable(self):
+        # Two windows overlap but the combined interval has enough room.
+        a = manual({
+            "x": Window(0.0, 20.0, 10.0),
+            "y": Window(5.0, 30.0, 10.0),
+        })
+        assert analyze_platform(a, n_processors=1).schedulable
+
+    def test_subinterval_overload_detected(self):
+        # Individually fine, but both squeezed into [10, 30).
+        a = manual({
+            "x": Window(10.0, 30.0, 15.0),
+            "y": Window(10.0, 30.0, 15.0),
+        })
+        report = analyze_platform(a, n_processors=1)
+        assert not report.schedulable
+        v = report.violations[0]
+        assert v.start == 10.0 and v.end == 30.0
+        assert set(v.subtasks) == {"x", "y"}
+        assert v.overload == pytest.approx(10.0)
+        assert "platform" in str(v)
+
+    def test_utilization(self):
+        a = manual({
+            "x": Window(0.0, 10.0, 5.0),
+            "y": Window(10.0, 20.0, 5.0),
+        })
+        report = analyze_platform(a, n_processors=2)
+        assert report.utilization == pytest.approx(10.0 / 40.0)
+
+    def test_bad_processor_count(self):
+        a = manual({"x": Window(0.0, 10.0, 5.0)})
+        with pytest.raises(ValidationError):
+            analyze_platform(a, n_processors=0)
+
+    def test_real_distribution_is_feasible_on_the_paper_platform(
+        self, random_graph
+    ):
+        assignment = bst("PURE", "CCNE").distribute(random_graph)
+        report = analyze_platform(assignment, n_processors=16)
+        assert report.schedulable
+        assert report.min_processors >= 1
+
+    def test_include_messages_is_more_pessimistic(self, chain_graph):
+        assignment = bst("PURE", "CCAA").distribute(chain_graph)
+        with_m = analyze_platform(
+            assignment, n_processors=1, include_messages=True
+        )
+        without = analyze_platform(assignment, n_processors=1)
+        assert with_m.min_processors >= without.min_processors
+
+
+class TestPlacementAnalysis:
+    def test_valid_placement_passes(self, random_graph):
+        assignment = bst("PURE", "CCNE").distribute(random_graph)
+        schedule = ListScheduler(System(8)).schedule(random_graph, assignment)
+        report = analyze_placement(assignment, schedule)
+        # With the paper's laxity (OLR 1.5) and 8 processors the per-
+        # processor demand criterion holds for the whole placement.
+        assert report.schedulable, [str(v) for v in report.violations[:3]]
+
+    def test_overloaded_processor_detected(self):
+        g = TaskGraph()
+        g.add_subtask("x", wcet=10.0, release=0.0, end_to_end_deadline=12.0,
+                      pinned_to=0)
+        g.add_subtask("y", wcet=10.0, release=0.0, end_to_end_deadline=12.0,
+                      pinned_to=0)
+        a = DeadlineAssignment(
+            graph=g, metric_name="T", comm_strategy_name="T",
+            windows={
+                "x": Window(0.0, 12.0, 10.0),
+                "y": Window(0.0, 12.0, 10.0),
+            },
+            message_windows={},
+        )
+        schedule = ListScheduler(System(2)).schedule(g, a)
+        report = analyze_placement(a, schedule)
+        assert not report.schedulable
+        assert report.violations[0].processor == 0
+        assert "processor 0" in str(report.violations[0])
+
+
+class TestMinProcessors:
+    def test_chain_needs_one(self, chain_graph):
+        assignment = bst("PURE", "CCNE").distribute(chain_graph)
+        assert min_processors_needed(assignment) == 1
+
+    def test_parallel_block_needs_width(self):
+        a = manual({f"t{i}": Window(0.0, 10.0, 10.0) for i in range(5)})
+        assert min_processors_needed(a) == 5
+
+    def test_bound_is_sound_for_real_workloads(self, random_graph):
+        # The bound never exceeds what a successful feasible placement used.
+        assignment = bst("PURE", "CCNE").distribute(random_graph)
+        needed = min_processors_needed(assignment)
+        report = analyze_platform(assignment, n_processors=needed)
+        assert report.schedulable

@@ -1,0 +1,141 @@
+"""Sensitivity analysis: scaling factors and per-subtask margins."""
+
+import pytest
+
+from repro.core.annotations import DeadlineAssignment, Window
+from repro.core.sensitivity import (
+    critical_scaling_factor,
+    per_subtask_margins,
+    window_scaling_factor,
+)
+from repro.core.slicer import ast, bst
+from repro.errors import ValidationError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+
+
+def manual(windows, message_windows=None):
+    g = TaskGraph()
+    for node_id, w in windows.items():
+        g.add_subtask(node_id, wcet=w.cost, release=0.0,
+                      end_to_end_deadline=1e9)
+    return DeadlineAssignment(
+        graph=g,
+        metric_name="TEST",
+        comm_strategy_name="TEST",
+        windows=dict(windows),
+        message_windows=message_windows or {},
+    )
+
+
+class TestWindowScalingFactor:
+    def test_minimum_ratio_wins(self):
+        a = manual({
+            "tight": Window(0.0, 15.0, 10.0),   # ratio 1.5
+            "loose": Window(0.0, 40.0, 10.0),   # ratio 4.0
+        })
+        assert window_scaling_factor(a) == pytest.approx(1.5)
+
+    def test_degenerate_window_gives_below_one(self):
+        a = manual({"x": Window(0.0, 5.0, 10.0)})
+        assert window_scaling_factor(a) == pytest.approx(0.5)
+
+    def test_message_windows_participate(self):
+        a = manual(
+            {"x": Window(0.0, 40.0, 10.0)},
+            message_windows={("x", "y"): Window(40.0, 45.0, 5.0)},
+        )
+        assert window_scaling_factor(a) == pytest.approx(1.0)
+
+    def test_real_distribution_has_headroom(self, random_graph):
+        a = bst("PURE", "CCNE").distribute(random_graph)
+        # OLR 1.5 means ~1.5x total headroom; PURE spreads it, so every
+        # window tolerates some growth.
+        assert window_scaling_factor(a) > 1.0
+
+
+class TestPerSubtaskMargins:
+    def test_sorted_most_fragile_first(self):
+        a = manual({
+            "fragile": Window(0.0, 12.0, 10.0),
+            "comfy": Window(0.0, 100.0, 10.0),
+        })
+        margins = per_subtask_margins(a)
+        assert [m.node_id for m in margins] == ["fragile", "comfy"]
+        assert margins[0].absolute_margin == pytest.approx(2.0)
+        assert margins[0].growth_factor == pytest.approx(1.2)
+
+    def test_margins_cover_all_subtasks(self, random_graph):
+        a = bst("PURE", "CCNE").distribute(random_graph)
+        margins = per_subtask_margins(a)
+        assert len(margins) == random_graph.n_subtasks
+        assert min(m.growth_factor for m in margins) == pytest.approx(
+            window_scaling_factor(a)
+        )
+
+
+class TestCriticalScalingFactor:
+    def chain(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0)
+        g.add_subtask("b", wcet=10.0, end_to_end_deadline=60.0)
+        g.add_edge("a", "b")
+        return g
+
+    def test_single_processor_chain_analytic(self):
+        # One processor, redistribute on: scaled chain of 20α must fit 60
+        # and PURE re-splits the window, so feasibility is α <= 3.
+        g = self.chain()
+        factor = critical_scaling_factor(
+            g, System(1), lambda graph: bst("PURE", "CCNE").distribute(graph),
+        )
+        assert factor == pytest.approx(3.0, abs=0.01)
+
+    def test_fixed_assignment_is_not_more_robust(self):
+        # Without redistribution the α=1 windows are kept; feasibility can
+        # only be harder (each window must hold its own scaled cost).
+        g = self.chain()
+        distribute = lambda graph: bst("PURE", "CCNE").distribute(graph)
+        adaptive = critical_scaling_factor(g, System(1), distribute)
+        fixed = critical_scaling_factor(
+            g, System(1), distribute, redistribute=False
+        )
+        assert fixed <= adaptive + 1e-6
+
+    def test_infeasible_at_lower_raises(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0, end_to_end_deadline=1.0)
+        with pytest.raises(ValidationError, match="infeasible"):
+            critical_scaling_factor(
+                g, System(1),
+                lambda graph: bst("PURE", "CCNE").distribute(graph),
+                lower=1.0,
+            )
+
+    def test_upper_cap_returned_when_never_failing(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1.0, release=0.0, end_to_end_deadline=1e6)
+        factor = critical_scaling_factor(
+            g, System(1),
+            lambda graph: bst("PURE", "CCNE").distribute(graph),
+            upper=4.0,
+        )
+        assert factor == 4.0
+
+    def test_bad_bracket(self):
+        with pytest.raises(ValidationError):
+            critical_scaling_factor(
+                self.chain(), System(1),
+                lambda graph: bst("PURE", "CCNE").distribute(graph),
+                lower=2.0, upper=1.0,
+            )
+
+    def test_random_workload_on_paper_platform(self, random_graph):
+        factor = critical_scaling_factor(
+            random_graph,
+            System(4),
+            lambda graph: ast("ADAPT").distribute(graph, n_processors=4),
+            tolerance=0.05,
+        )
+        # OLR 1.5 leaves real headroom; the factor must reflect it.
+        assert factor > 1.0

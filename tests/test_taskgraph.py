@@ -1,0 +1,171 @@
+"""TaskGraph construction, queries, ordering, validation."""
+
+import pytest
+
+from repro.errors import (
+    CycleError,
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    UnknownNodeError,
+    ValidationError,
+)
+from repro.graph.taskgraph import TaskGraph
+
+
+def build_small():
+    g = TaskGraph(name="small")
+    g.add_subtask("a", wcet=1.0, release=0.0)
+    g.add_subtask("b", wcet=2.0)
+    g.add_subtask("c", wcet=3.0, end_to_end_deadline=50.0)
+    g.add_edge("a", "b", message_size=1.0)
+    g.add_edge("b", "c", message_size=2.0)
+    g.add_edge("a", "c", message_size=3.0)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = build_small()
+        assert g.n_subtasks == 3
+        assert g.n_edges == 3
+        assert len(g) == 3
+
+    def test_duplicate_node_rejected(self):
+        g = build_small()
+        with pytest.raises(DuplicateNodeError):
+            g.add_subtask("a", wcet=1.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = build_small()
+        with pytest.raises(DuplicateEdgeError):
+            g.add_edge("a", "b")
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = build_small()
+        with pytest.raises(UnknownNodeError):
+            g.add_edge("a", "zzz")
+        with pytest.raises(UnknownNodeError):
+            g.add_edge("zzz", "a")
+
+    def test_self_loop_rejected(self):
+        g = build_small()
+        with pytest.raises(ValidationError):
+            g.add_edge("a", "a")
+
+    def test_contains_and_iter(self):
+        g = build_small()
+        assert "a" in g and "zzz" not in g
+        assert sorted(g) == ["a", "b", "c"]
+
+
+class TestQueries:
+    def test_neighbours(self):
+        g = build_small()
+        assert sorted(g.successors("a")) == ["b", "c"]
+        assert g.predecessors("c") == ["b", "a"] or sorted(
+            g.predecessors("c")
+        ) == ["a", "b"]
+        assert g.in_degree("a") == 0
+        assert g.out_degree("a") == 2
+
+    def test_boundary(self):
+        g = build_small()
+        assert g.input_subtasks() == ["a"]
+        assert g.output_subtasks() == ["c"]
+
+    def test_message_lookup(self):
+        g = build_small()
+        assert g.message("a", "c").size == 3.0
+        assert g.has_edge("a", "c")
+        assert not g.has_edge("c", "a")
+        with pytest.raises(UnknownNodeError):
+            g.message("c", "a")
+
+    def test_unknown_node_query(self):
+        g = build_small()
+        with pytest.raises(UnknownNodeError):
+            g.successors("zzz")
+        with pytest.raises(UnknownNodeError):
+            g.node("zzz")
+
+    def test_pinned_subtasks(self):
+        g = build_small()
+        assert g.pinned_subtasks() == []
+        g.node("b").pinned_to = 1
+        assert g.pinned_subtasks() == ["b"]
+
+
+class TestOrderAndReachability:
+    def test_topological_order(self):
+        g = build_small()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topo_cached_and_invalidated(self):
+        g = build_small()
+        first = g.topological_order()
+        g.add_subtask("d", wcet=1.0)
+        g.add_edge("c", "d")
+        second = g.topological_order()
+        assert "d" not in first and "d" in second
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1.0)
+        g.add_subtask("b", wcet=1.0)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert not g.is_acyclic()
+        with pytest.raises(CycleError) as exc:
+            g.topological_order()
+        # The reported cycle is a real cycle.
+        cycle = exc.value.cycle
+        assert cycle[0] == cycle[-1]
+        assert len(cycle) >= 3
+
+    def test_ancestors_descendants(self):
+        g = build_small()
+        assert g.ancestors("c") == {"a", "b"}
+        assert g.descendants("a") == {"b", "c"}
+        assert g.ancestors("a") == set()
+        assert g.descendants("c") == set()
+
+
+class TestAggregatesAndValidate:
+    def test_workload(self):
+        g = build_small()
+        assert g.total_workload() == 6.0
+        assert g.mean_execution_time() == 2.0
+        assert g.total_message_volume() == 6.0
+
+    def test_validate_ok(self):
+        build_small().validate()
+
+    def test_validate_empty(self):
+        with pytest.raises(ValidationError):
+            TaskGraph().validate()
+
+    def test_validate_missing_release(self):
+        g = build_small()
+        g.node("a").release = None
+        with pytest.raises(ValidationError, match="release"):
+            g.validate()
+
+    def test_validate_missing_deadline(self):
+        g = build_small()
+        g.node("c").end_to_end_deadline = None
+        with pytest.raises(ValidationError, match="deadline"):
+            g.validate()
+
+    def test_copy_is_independent(self):
+        g = build_small()
+        h = g.copy()
+        h.node("a").wcet = 99.0
+        h.add_subtask("x", wcet=1.0)
+        assert g.node("a").wcet == 1.0
+        assert "x" not in g
+        assert h.message("a", "b").size == g.message("a", "b").size
+
+    def test_mean_execution_time_empty(self):
+        with pytest.raises(ValidationError):
+            TaskGraph().mean_execution_time()

@@ -1,0 +1,110 @@
+"""The realistic workload benchmark set."""
+
+import random
+
+import pytest
+
+from repro.core.slicer import ast, bst
+from repro.errors import GeneratorError
+from repro.graph import paths
+from repro.graph.workloads import (
+    WORKLOADS,
+    automotive_control,
+    make_workload,
+    radar_pipeline,
+    video_encoder,
+)
+from repro.machine.system import System
+from repro.sched.list_scheduler import ListScheduler
+
+
+class TestAutomotive:
+    def test_structure(self):
+        g = automotive_control(n_sensors=4, n_actuators=3)
+        # Inputs are the acquisitions; outputs are actuators + log.
+        assert sorted(g.input_subtasks()) == [f"acq{i}" for i in range(4)]
+        assert sorted(g.output_subtasks()) == ["act0", "act1", "act2", "log"]
+        assert "fusion" in g and "control" in g
+
+    def test_io_pinned_round_robin(self):
+        g = automotive_control(n_sensors=4, pin_io=True, io_processors=2)
+        assert g.node("acq0").pinned_to == 0
+        assert g.node("acq1").pinned_to == 1
+        assert g.node("acq2").pinned_to == 0
+        assert g.node("fusion").pinned_to is None  # interior stays relaxed
+
+    def test_unpinned_variant(self):
+        g = automotive_control(pin_io=False)
+        assert g.pinned_subtasks() == []
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            automotive_control(n_sensors=0)
+        with pytest.raises(GeneratorError):
+            automotive_control(laxity_ratio=0.0)
+
+
+class TestRadar:
+    def test_corner_turn_is_all_to_all(self):
+        g = radar_pipeline(n_channels=3, n_doppler_banks=2)
+        for i in range(3):
+            for b in range(2):
+                assert g.has_edge(f"pc{i}", f"dop{b}")
+
+    def test_single_output(self):
+        g = radar_pipeline()
+        assert g.output_subtasks() == ["tracker"]
+
+    def test_high_parallelism(self):
+        g = radar_pipeline(n_channels=8, n_doppler_banks=4)
+        assert paths.average_parallelism(g) > 3.0
+
+
+class TestVideo:
+    def test_wavefront_dependencies(self):
+        g = video_encoder(n_rows=3, stages_per_row=2)
+        assert g.has_edge("r0s0", "r1s0")  # row-to-row
+        assert g.has_edge("r1s0", "r1s1")  # within-row
+        assert g.has_edge("r0s1", "r1s1")
+        assert g.output_subtasks() == ["entropy"]
+
+    def test_wavefront_bounds_parallelism(self):
+        narrow = video_encoder(n_rows=2, stages_per_row=6)
+        wide = video_encoder(n_rows=8, stages_per_row=2)
+        assert paths.average_parallelism(wide) > paths.average_parallelism(
+            narrow
+        )
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_validated_and_anchored(self, name):
+        g = make_workload(name, rng=random.Random(7))
+        g.validate()
+        deadline = 1.5 * g.total_workload()
+        for node_id in g.output_subtasks():
+            assert g.node(node_id).end_to_end_deadline == pytest.approx(
+                deadline
+            )
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_full_pipeline(self, name):
+        g = make_workload(name, rng=random.Random(3))
+        for distributor, kwargs in (
+            (bst("PURE", "CCNE"), {}),
+            (ast("ADAPT"), {"n_processors": 4}),
+        ):
+            assignment = distributor.distribute(g, **kwargs)
+            schedule = ListScheduler(System(4)).schedule(g, assignment)
+            schedule.validate()
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_deterministic_per_seed(self, name):
+        a = make_workload(name, rng=random.Random(5))
+        b = make_workload(name, rng=random.Random(5))
+        assert a.edges() == b.edges()
+        assert [s.wcet for s in a.nodes()] == [s.wcet for s in b.nodes()]
+
+    def test_unknown_workload(self):
+        with pytest.raises(GeneratorError):
+            make_workload("crypto-miner")

@@ -1,0 +1,60 @@
+"""The parallel trial engine: serial-vs-parallel throughput and identity.
+
+Runs a Figure-5-sized sweep (PURE / THRES / ADAPT over the size sweep and
+all three scenarios) through both engines and reports trials/second and
+the speedup. Two assertions:
+
+1. **Record identity** — always: `jobs=N` must reproduce the serial
+   records exactly, in order (the engine's core guarantee).
+2. **Throughput** — on hosts with >= 8 cores, the parallel engine must be
+   at least 3x faster than serial; skipped on smaller boxes where the
+   hardware cannot express the speedup.
+
+Scale with ``REPRO_GRAPHS`` / ``REPRO_SIZES`` as usual.
+"""
+
+import os
+
+from _scale import n_graphs, run_once, system_sizes
+
+from repro.feast import build_experiment
+from repro.feast.parallel import default_jobs
+from repro.feast.runner import run_experiment
+
+GRAPHS = n_graphs(16)
+SIZES = system_sizes()
+
+#: Acceptance target on an 8-core machine.
+MIN_SPEEDUP = 3.0
+MIN_CORES_FOR_SPEEDUP_CHECK = 8
+
+
+def bench_parallel_runner(benchmark):
+    (config,) = build_experiment(
+        "figure5", n_graphs=GRAPHS, system_sizes=SIZES
+    )
+    serial = run_experiment(config, jobs=1)
+    jobs = default_jobs()
+    parallel = run_once(benchmark, run_experiment, config, jobs=jobs)
+
+    assert [r.as_dict() for r in parallel.records] == [
+        r.as_dict() for r in serial.records
+    ], "parallel records diverge from serial"
+
+    speedup = serial.elapsed_seconds / max(parallel.elapsed_seconds, 1e-9)
+    print()
+    print(
+        f"trials={config.n_trials}  "
+        f"serial={serial.elapsed_seconds:.2f}s "
+        f"({config.n_trials / serial.elapsed_seconds:.1f} trials/s)  "
+        f"parallel[{jobs}]={parallel.elapsed_seconds:.2f}s "
+        f"({config.n_trials / parallel.elapsed_seconds:.1f} trials/s)  "
+        f"speedup={speedup:.2f}x"
+    )
+    print(f"worker phase totals: {parallel.timings.as_dict()}")
+
+    cores = os.cpu_count() or 1
+    if cores >= MIN_CORES_FOR_SPEEDUP_CHECK:
+        assert speedup >= MIN_SPEEDUP, (
+            f"{speedup:.2f}x < {MIN_SPEEDUP}x on a {cores}-core host"
+        )

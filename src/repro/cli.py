@@ -11,6 +11,11 @@ Run a figure at paper scale (128 graphs) or any smaller scale::
     repro run figure5
     repro run figure2 --graphs 32 --sizes 2,4,8,16 --csv out/figure2.csv
 
+Trials fan out over all CPU cores by default; pin the worker count (1 =
+serial) with::
+
+    repro run figure5 --jobs 8
+
 Inspect one generated workload and one schedule::
 
     repro demo --processors 4 --metric ADAPT
@@ -47,6 +52,20 @@ def _parse_sizes(text: str) -> List[int]:
         ) from None
 
 
+def _parse_jobs(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects an integer, got {text!r}"
+        ) from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = all cores), got {jobs}"
+        )
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -71,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated system sizes, e.g. 2,4,8,16",
     )
     run.add_argument("--seed", type=int, default=None, help="workload seed")
+    run.add_argument(
+        "--jobs", type=_parse_jobs, default=None,
+        help="worker processes for trial execution "
+        "(default: all CPU cores; 1 = serial)",
+    )
     run.add_argument("--csv", default=None, help="write raw trials as CSV")
     run.add_argument(
         "--save", default=None,
@@ -139,17 +163,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     configs = build_experiment(args.experiment, **kwargs)
 
+    from repro.feast.parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
     csv_chunks: List[str] = []
     results = []
     for config in configs:
         if not args.quiet:
-            print(f"running {config.name}: {config.n_trials} trials ...")
+            print(
+                f"running {config.name}: {config.n_trials} trials "
+                f"({jobs} job{'s' if jobs != 1 else ''}) ..."
+            )
 
         def progress(done: int, total: int) -> None:
             if not args.quiet and done % max(1, total // 10) == 0:
                 print(f"  {done}/{total}", file=sys.stderr)
 
-        result = run_experiment(config, progress=progress)
+        result = run_experiment(config, progress=progress, jobs=jobs)
         print(lateness_report(result))
         print()
         if args.plot:

@@ -18,6 +18,16 @@ from repro.feast.config import (
     MethodSpec,
 )
 from repro.feast.experiments import EXPERIMENTS, build_experiment
+from repro.feast.instrumentation import (
+    Instrumentation,
+    PhaseTimings,
+    ProgressFn,
+)
+from repro.feast.parallel import (
+    TrialSpec,
+    default_jobs,
+    run_parallel_experiment,
+)
 from repro.feast.persistence import (
     SeriesDelta,
     compare,
@@ -36,8 +46,11 @@ from repro.feast.reporting import (
 from repro.feast.runner import (
     ExperimentResult,
     TrialRecord,
+    graph_for_trial,
     run_experiment,
     run_trial,
+    scenario_seed,
+    trial_seed,
 )
 from repro.feast.tables import (
     end_to_end_panel,
@@ -68,6 +81,15 @@ __all__ = [
     "TrialRecord",
     "run_experiment",
     "run_trial",
+    "run_parallel_experiment",
+    "default_jobs",
+    "TrialSpec",
+    "Instrumentation",
+    "PhaseTimings",
+    "ProgressFn",
+    "graph_for_trial",
+    "scenario_seed",
+    "trial_seed",
     "run_experiments",
     "sweep_field",
     "sweep_grid",

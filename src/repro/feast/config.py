@@ -137,6 +137,10 @@ class ExperimentConfig:
     graph_config: RandomGraphConfig = RandomGraphConfig()
     scenarios: Tuple[str, ...] = ("LDET", "MDET", "HDET")
     n_graphs: int = PAPER_N_GRAPHS
+    #: Experiment seed. Graph ``i`` of a scenario is generated from
+    #: ``repro.feast.runner.trial_seed(seed, scenario, i)``, which folds a
+    #: stable hash of the scenario name into this value — the pairing
+    #: contract every method, size, and worker process relies on.
     seed: int = 2026
     system_sizes: Tuple[int, ...] = PAPER_SYSTEM_SIZES
     topology: str = "bus"
@@ -191,11 +195,17 @@ class ExperimentConfig:
         return replace(self, n_graphs=n_graphs)
 
     @property
+    def trials_per_graph(self) -> int:
+        """Scheduling runs each generated graph participates in — the
+        size of one parallel work chunk (see :mod:`repro.feast.parallel`)."""
+        return len(self.system_sizes) * len(self.methods)
+
+    @property
     def n_trials(self) -> int:
-        """Total scheduling runs this experiment performs."""
-        return (
-            len(self.scenarios)
-            * len(self.system_sizes)
-            * len(self.methods)
-            * self.n_graphs
-        )
+        """Total scheduling runs this experiment performs.
+
+        The runner guarantees exactly this many records (it validates
+        workload sources against it), so ``progress(done, total)`` can
+        never report more than 100 %.
+        """
+        return len(self.scenarios) * self.n_graphs * self.trials_per_graph

@@ -1,0 +1,122 @@
+"""Instrumentation of experiment execution: phase timers and progress.
+
+The runner used to accept a bare ``(done, total)`` callback and nothing
+else. This module replaces that with a small, pluggable layer:
+
+* :class:`PhaseTimings` — wall-clock seconds spent in each of the three
+  trial phases (``generate`` the workload, ``distribute`` deadlines,
+  ``schedule`` and measure). Plain picklable data, so worker processes
+  can measure locally and ship their timings back to the parent.
+* :class:`Instrumentation` — the parent-side collector: accumulates
+  timings, counts completed trials, and fans progress events out to any
+  number of registered callbacks.
+
+Progress from worker processes
+------------------------------
+Workers never call user callbacks directly (the callback lives in the
+parent and usually is not picklable anyway). Instead each worker times
+its own chunk, returns a :class:`PhaseTimings` alongside its records
+through the executor's results queue, and the parent calls
+:meth:`Instrumentation.absorb` as each chunk arrives — which merges the
+timings and fires the progress callbacks with the updated trial count.
+Progress granularity in parallel mode is therefore one chunk (all trials
+of one (scenario, graph) pair) rather than one trial.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import ExperimentError
+
+#: Progress hook: called with (done_trials, total_trials).
+ProgressFn = Callable[[int, int], None]
+
+#: The trial phases, in pipeline order.
+PHASES = ("generate", "distribute", "schedule")
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent per trial phase (picklable)."""
+
+    generate: float = 0.0
+    distribute: float = 0.0
+    schedule: float = 0.0
+
+    def add(self, phase: str, seconds: float) -> None:
+        if phase not in PHASES:
+            raise ExperimentError(
+                f"unknown phase {phase!r}; expected one of {PHASES}"
+            )
+        setattr(self, phase, getattr(self, phase) + seconds)
+
+    def merge(self, other: "PhaseTimings") -> None:
+        """Accumulate another timing set (e.g. one worker chunk) into this
+        one. Parallel timings are summed CPU-side seconds, so the merged
+        total can exceed the experiment's wall-clock elapsed time."""
+        for phase in PHASES:
+            setattr(self, phase, getattr(self, phase) + getattr(other, phase))
+
+    @property
+    def total(self) -> float:
+        return self.generate + self.distribute + self.schedule
+
+    def as_dict(self) -> Dict[str, float]:
+        return {phase: getattr(self, phase) for phase in PHASES}
+
+
+class Instrumentation:
+    """Collects per-phase timings and trial counts; relays progress.
+
+    One instance instruments one :func:`~repro.feast.runner.run_experiment`
+    call. Register any number of ``(done, total)`` callbacks with
+    :meth:`add_progress`; they fire after every completed trial (serial)
+    or completed chunk (parallel).
+    """
+
+    def __init__(self, progress: Optional[ProgressFn] = None) -> None:
+        self.timings = PhaseTimings()
+        self.trials_completed = 0
+        self.total_trials = 0
+        self._callbacks: List[ProgressFn] = []
+        if progress is not None:
+            self.add_progress(progress)
+
+    def add_progress(self, callback: ProgressFn) -> None:
+        """Register a ``(done, total)`` progress callback."""
+        self._callbacks.append(callback)
+
+    def start(self, total_trials: int) -> None:
+        """Begin (or restart) a run of ``total_trials`` trials."""
+        self.total_trials = total_trials
+        self.trials_completed = 0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block of work against the named phase."""
+        began = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.add(name, time.perf_counter() - began)
+
+    def completed(self, n_trials: int = 1) -> None:
+        """Count ``n_trials`` more trials done and fire progress."""
+        self.trials_completed += n_trials
+        if self.trials_completed > self.total_trials:
+            raise ExperimentError(
+                f"completed {self.trials_completed} trials but only "
+                f"{self.total_trials} were planned — the workload source "
+                "produced more graphs than ExperimentConfig.n_trials expects"
+            )
+        for callback in self._callbacks:
+            callback(self.trials_completed, self.total_trials)
+
+    def absorb(self, timings: PhaseTimings, n_trials: int) -> None:
+        """Merge one worker chunk's timings and count its trials."""
+        self.timings.merge(timings)
+        self.completed(n_trials)

@@ -1,0 +1,225 @@
+"""Parallel experiment execution over a process pool.
+
+The serial runner iterates scenario → size → method → graph in one
+4-deep loop; paper-scale sweeps (Figures 2–5: 128 graphs × 9 sizes × 3
+scenarios × several methods) bottleneck on one core. This engine fans
+the same trials out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+while guaranteeing **record identity**: ``run_experiment(config, jobs=N)``
+returns exactly the records a serial run returns, in exactly the serial
+order, for any ``N``.
+
+Work unit
+---------
+One :class:`TrialSpec` covers *all* (size × method) trials of a single
+(scenario, graph-index) pair:
+
+* the spec is tiny and picklable — the worker regenerates the graph from
+  the per-(scenario, index) seed (:func:`repro.feast.runner.trial_seed`),
+  so no task graph ever crosses the pipe;
+* size-independent deadline distributions are computed once per method
+  inside the chunk, preserving the serial runner's reuse semantics (the
+  cache is per-graph in both engines, so cached work is never recomputed
+  differently);
+* each worker times its own generate/distribute/schedule phases and
+  ships a :class:`~repro.feast.instrumentation.PhaseTimings` back with
+  its records; the parent merges them and fires progress callbacks as
+  chunks arrive over the executor's results queue.
+
+Determinism
+-----------
+Chunks complete in arbitrary order; the parent buffers them keyed by
+(scenario, index) and reassembles the canonical serial order
+scenario → size → method → index before returning. Combined with the
+seeding contract, parallel output is byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.feast.config import ExperimentConfig, speeds_for
+from repro.feast.instrumentation import Instrumentation, PhaseTimings
+from repro.feast.runner import (
+    ExperimentResult,
+    TrialRecord,
+    distribute_for_trial,
+    graph_for_trial,
+    make_record,
+    run_trial,
+)
+from repro.machine.system import System
+from repro.machine.topology import make_interconnect
+
+
+def default_jobs() -> int:
+    """The cpu_count-aware default worker count (>= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return default_jobs()
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def is_parallelizable(config: ExperimentConfig) -> bool:
+    """Whether ``config`` can cross a process boundary.
+
+    Configs are plain data except ``graph_factory``, which may be an
+    unpicklable in-process closure; those run serially instead.
+    """
+    if config.graph_factory is None:
+        return True
+    try:
+        pickle.dumps(config)
+    except Exception:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One worker work unit: every (size × method) trial of one graph.
+
+    Carries only the (picklable) config plus the (scenario, index)
+    coordinates; the worker regenerates the graph from its seed.
+    """
+
+    config: ExperimentConfig
+    scenario: str
+    index: int
+
+
+@dataclass
+class ChunkResult:
+    """One completed :class:`TrialSpec`: records keyed for reassembly."""
+
+    scenario: str
+    index: int
+    #: (n_processors, method label) → record, for canonical reordering.
+    records: Dict[Tuple[int, str], TrialRecord] = field(default_factory=dict)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.records)
+
+
+def run_chunk(spec: TrialSpec) -> ChunkResult:
+    """Execute one chunk (runs inside a worker process).
+
+    Mirrors the serial loop's per-graph work exactly: same seeds, same
+    distribution reuse, same metrics — only the loop nesting differs,
+    which the parent undoes when reassembling.
+    """
+    config = spec.config
+    inst = Instrumentation()
+    chunk = ChunkResult(scenario=spec.scenario, index=spec.index,
+                        timings=inst.timings)
+    graph_config = config.graph_config.with_scenario(spec.scenario)
+    with inst.phase("generate"):
+        graph = graph_for_trial(config, graph_config, spec.scenario, spec.index)
+    distributors = {method.label: method.build() for method in config.methods}
+    reusable: Dict[object, object] = {}
+    for n_processors in config.system_sizes:
+        speeds = speeds_for(config.speed_profile, n_processors)
+        system = System(
+            n_processors,
+            interconnect=make_interconnect(config.topology, n_processors),
+            speeds=speeds,
+        )
+        total_capacity = float(sum(speeds))
+        for method in config.methods:
+            with inst.phase("distribute"):
+                assignment = distribute_for_trial(
+                    method,
+                    distributors[method.label],
+                    graph,
+                    n_processors,
+                    total_capacity,
+                    reusable,
+                    method.label,
+                )
+            with inst.phase("schedule"):
+                metrics = run_trial(
+                    graph,
+                    assignment,
+                    system,
+                    policy_name=config.policy,
+                    respect_release_times=config.respect_release_times,
+                )
+            chunk.records[(n_processors, method.label)] = make_record(
+                config, spec.scenario, n_processors, method,
+                spec.index, assignment, metrics,
+            )
+    return chunk
+
+
+def run_parallel_experiment(
+    config: ExperimentConfig,
+    jobs: Optional[int] = None,
+    progress=None,
+    instrumentation: Optional[Instrumentation] = None,
+) -> ExperimentResult:
+    """Execute ``config`` over ``jobs`` worker processes.
+
+    Prefer calling :func:`repro.feast.runner.run_experiment` with
+    ``jobs=N``, which handles serial fallback; this is the engine behind
+    it. Records come back in canonical serial order.
+    """
+    started = time.perf_counter()
+    n_jobs = resolve_jobs(jobs)
+    if not is_parallelizable(config):
+        raise ExperimentError(
+            f"experiment {config.name!r} carries an unpicklable "
+            "graph_factory; run it with jobs=1"
+        )
+    inst = instrumentation if instrumentation is not None else Instrumentation()
+    if progress is not None:
+        inst.add_progress(progress)
+    inst.start(config.n_trials)
+
+    specs = [
+        TrialSpec(config=config, scenario=scenario, index=index)
+        for scenario in config.scenarios
+        for index in range(config.n_graphs)
+    ]
+    chunks: Dict[Tuple[str, int], ChunkResult] = {}
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(specs))) as pool:
+        futures = [pool.submit(run_chunk, spec) for spec in specs]
+        for future in as_completed(futures):
+            chunk = future.result()
+            chunks[(chunk.scenario, chunk.index)] = chunk
+            inst.absorb(chunk.timings, chunk.n_trials)
+
+    records: List[TrialRecord] = []
+    for scenario in config.scenarios:
+        for n_processors in config.system_sizes:
+            for method in config.methods:
+                for index in range(config.n_graphs):
+                    records.append(
+                        chunks[(scenario, index)].records[
+                            (n_processors, method.label)
+                        ]
+                    )
+    if len(records) != config.n_trials:
+        raise ExperimentError(
+            f"experiment {config.name!r} produced {len(records)} records "
+            f"but planned {config.n_trials}"
+        )
+    return ExperimentResult(
+        config=config,
+        records=records,
+        elapsed_seconds=time.perf_counter() - started,
+        timings=inst.timings,
+        jobs=n_jobs,
+    )

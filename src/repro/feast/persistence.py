@@ -16,6 +16,7 @@ from typing import Any, Dict, IO, List, Optional, Tuple
 from repro.errors import SerializationError
 from repro.feast.aggregate import mean_max_lateness
 from repro.feast.config import ExperimentConfig, MethodSpec
+from repro.feast.instrumentation import PhaseTimings
 from repro.feast.runner import ExperimentResult, TrialRecord
 
 FORMAT = "repro-experiment-result"
@@ -51,6 +52,10 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
             ],
         },
         "elapsed_seconds": result.elapsed_seconds,
+        "jobs": result.jobs,
+        "timings": (
+            result.timings.as_dict() if result.timings is not None else None
+        ),
         "records": [r.as_dict() for r in result.records],
     }
 
@@ -98,6 +103,12 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
         raise SerializationError(f"malformed result document: {exc}") from exc
     result = ExperimentResult(config=config, records=records)
     result.elapsed_seconds = float(data.get("elapsed_seconds", 0.0))
+    result.jobs = int(data.get("jobs", 1))
+    timings = data.get("timings")
+    if timings is not None:
+        result.timings = PhaseTimings(
+            **{k: float(v) for k, v in timings.items()}
+        )
     return result
 
 

@@ -2,31 +2,111 @@
 
 :func:`run_experiment` executes an :class:`~repro.feast.config.ExperimentConfig`
 and returns an :class:`ExperimentResult` holding one :class:`TrialRecord`
-per (scenario, system size, method, graph). Graph generation is seeded per
-(scenario, index), so every method and system size sees the *same* graphs —
-the paired design behind the paper's per-panel comparisons.
+per (scenario, system size, method, graph). ``jobs > 1`` fans the trials
+out over worker processes (:mod:`repro.feast.parallel`) and produces
+records identical to a serial run.
+
+Seeding / pairing contract
+--------------------------
+Graph ``index`` of scenario ``scenario`` is always generated from
+``random.Random(trial_seed(config.seed, scenario, index))``, where the
+seed folds a stable (process-independent) hash of the scenario name into
+the experiment seed. Consequences, relied on throughout the harness:
+
+* every method and every system size sees the *same* graphs — the paired
+  design behind the paper's per-panel comparisons and the harness's
+  paired statistics;
+* different scenarios draw *independent* workloads (they differ in
+  structure, not only in execution times);
+* a worker process can regenerate any (scenario, index) graph locally
+  from its seed — nothing large crosses the process boundary — and the
+  regenerated graph is identical to the serial one;
+* custom ``graph_factory`` callables receive exactly the same seeded rng
+  stream as the built-in generator would for that (scenario, index).
 
 Deadline distributions that do not depend on the system size (everything
-except ADAPT) are computed once per (method, scenario, graph) and reused
-across the size sweep.
+except ADAPT) are computed once per (method, scenario, graph) — with *no*
+platform arguments, so the cache cannot capture one sweep size's platform
+— and re-stamped with the current platform when reused across the size
+sweep.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.annotations import DeadlineAssignment
+from repro.errors import ExperimentError
 from repro.feast.config import ExperimentConfig, MethodSpec, speeds_for
-from repro.graph.generator import generate_task_graphs
+from repro.feast.instrumentation import Instrumentation, PhaseTimings, ProgressFn
+from repro.graph.generator import RandomGraphConfig, generate_task_graph
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.system import System
 from repro.machine.topology import make_interconnect
 from repro.sched.analysis import ScheduleMetrics, schedule_metrics
 from repro.sched.list_scheduler import ListScheduler
 from repro.sched.policies import make_policy
+
+#: Seed-spreading multiplier (same prime the graph generator uses).
+SEED_STRIDE = 1_000_003
+
+
+def scenario_seed(seed: int, scenario: str) -> int:
+    """Base seed of one scenario's graph batch.
+
+    Folds a stable hash of the scenario name (blake2b, so identical in
+    every process and on every platform — unlike builtin ``hash``) into
+    the experiment seed, giving each scenario an independent workload.
+    """
+    digest = hashlib.blake2b(
+        scenario.encode("utf-8"), digest_size=4
+    ).digest()
+    return seed * SEED_STRIDE + int.from_bytes(digest, "big")
+
+
+def trial_seed(seed: int, scenario: str, index: int) -> int:
+    """The rng seed generating graph ``index`` of ``scenario``.
+
+    This is the whole pairing contract: any process, at any time, passing
+    the same ``(seed, scenario, index)`` regenerates the same graph.
+    """
+    return scenario_seed(seed, scenario) * SEED_STRIDE + index
+
+
+def graph_for_trial(
+    config: ExperimentConfig,
+    graph_config: RandomGraphConfig,
+    scenario: str,
+    index: int,
+) -> TaskGraph:
+    """Materialize graph ``index`` of ``scenario`` per the seeding contract.
+
+    ``graph_config`` must already carry the scenario's execution-time
+    deviation (``config.graph_config.with_scenario(scenario)``). Raises
+    :class:`ExperimentError` when a custom factory returns anything but a
+    single :class:`TaskGraph` — one call produces exactly one graph, so
+    the record count always matches ``config.n_trials`` and progress can
+    never exceed 100 %.
+    """
+    rng = random.Random(trial_seed(config.seed, scenario, index))
+    if config.graph_factory is not None:
+        graph = config.graph_factory(graph_config, rng)
+        if not isinstance(graph, TaskGraph):
+            raise ExperimentError(
+                f"graph_factory must return one TaskGraph per call, got "
+                f"{type(graph).__name__!r} for scenario {scenario!r} "
+                f"index {index}"
+            )
+        return graph
+    return generate_task_graph(
+        graph_config,
+        rng=rng,
+        name=f"random-{scenario_seed(config.seed, scenario)}-{index}",
+    )
 
 
 @dataclass(frozen=True)
@@ -71,6 +151,10 @@ class ExperimentResult:
     config: ExperimentConfig
     records: List[TrialRecord] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Per-phase wall-clock totals (summed across workers when parallel).
+    timings: Optional[PhaseTimings] = None
+    #: Worker processes the run used (1 = serial).
+    jobs: int = 1
 
     def filter(
         self,
@@ -92,10 +176,6 @@ class ExperimentResult:
         return len(self.records)
 
 
-#: Optional progress hook: called with (done_trials, total_trials).
-ProgressFn = Callable[[int, int], None]
-
-
 def run_trial(
     graph: TaskGraph,
     assignment: DeadlineAssignment,
@@ -113,31 +193,113 @@ def run_trial(
     return schedule_metrics(schedule, assignment)
 
 
+def distribute_for_trial(
+    method: MethodSpec,
+    distributor,
+    graph: TaskGraph,
+    n_processors: int,
+    total_capacity: float,
+    cache: Dict[object, DeadlineAssignment],
+    cache_key: object,
+) -> DeadlineAssignment:
+    """The deadline assignment of ``method`` on ``graph`` at one size.
+
+    Size-dependent methods (ADAPT) are computed fresh for every platform.
+    Size-independent methods are computed once *without* platform
+    arguments and cached under ``cache_key``; reuses re-stamp the cached
+    windows with the current platform, so the recorded
+    ``DeadlineAssignment.n_processors`` always matches the trial's system
+    (previously the cache froze the first sweep size's platform into
+    every later size's metadata).
+    """
+    if method.needs_system_size:
+        return distributor.distribute(
+            graph,
+            n_processors=n_processors,
+            total_capacity=total_capacity,
+        )
+    assignment = cache.get(cache_key)
+    if assignment is None:
+        assignment = distributor.distribute(graph)
+        cache[cache_key] = assignment
+    return replace(assignment, n_processors=n_processors)
+
+
+def make_record(
+    config: ExperimentConfig,
+    scenario: str,
+    n_processors: int,
+    method: MethodSpec,
+    index: int,
+    assignment: DeadlineAssignment,
+    metrics: ScheduleMetrics,
+) -> TrialRecord:
+    """Package one trial's measurements (shared by serial and workers)."""
+    return TrialRecord(
+        experiment=config.name,
+        scenario=scenario,
+        n_processors=n_processors,
+        method=method.label,
+        graph_index=index,
+        max_lateness=metrics.max_lateness,
+        mean_lateness=metrics.mean_lateness,
+        n_late=metrics.n_late,
+        makespan=metrics.makespan,
+        mean_utilization=metrics.mean_utilization,
+        min_laxity=assignment.min_laxity(),
+        max_end_to_end_lateness=metrics.max_end_to_end_lateness,
+    )
+
+
 def run_experiment(
     config: ExperimentConfig,
     progress: Optional[ProgressFn] = None,
+    jobs: Optional[int] = 1,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> ExperimentResult:
-    """Execute every trial of ``config``."""
+    """Execute every trial of ``config``.
+
+    ``jobs`` selects the execution engine: ``1`` (default) runs the
+    serial loop in-process; ``> 1`` fans trials out over that many worker
+    processes; ``0`` or ``None`` uses all CPU cores. Parallel runs
+    produce records identical to serial runs, in identical order. A
+    config whose ``graph_factory`` cannot be pickled falls back to serial
+    execution regardless of ``jobs``.
+
+    ``progress`` is a ``(done, total)`` callback; ``instrumentation``
+    optionally supplies a preconfigured :class:`Instrumentation` (extra
+    callbacks, shared timing accumulation). Both may be given.
+    """
+    from repro.feast.parallel import is_parallelizable, resolve_jobs
+
+    inst = instrumentation if instrumentation is not None else Instrumentation()
+    if progress is not None:
+        inst.add_progress(progress)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and is_parallelizable(config):
+        from repro.feast.parallel import run_parallel_experiment
+
+        return run_parallel_experiment(config, jobs=n_jobs, instrumentation=inst)
+    return _run_serial(config, inst)
+
+
+def _run_serial(
+    config: ExperimentConfig, inst: Instrumentation
+) -> ExperimentResult:
     started = time.perf_counter()
-    result = ExperimentResult(config=config)
-    total = config.n_trials
-    done = 0
+    result = ExperimentResult(config=config, timings=inst.timings, jobs=1)
+    inst.start(config.n_trials)
 
     for scenario in config.scenarios:
         graph_config = config.graph_config.with_scenario(scenario)
-        if config.graph_factory is not None:
+        with inst.phase("generate"):
             graphs = [
-                config.graph_factory(
-                    graph_config, random.Random(config.seed * 1_000_003 + i)
-                )
+                graph_for_trial(config, graph_config, scenario, i)
                 for i in range(config.n_graphs)
             ]
-        else:
-            graphs = generate_task_graphs(
-                config.n_graphs, graph_config, seed=config.seed
-            )
-        # Distributions reusable across the size sweep (non-ADAPT methods).
-        reusable: Dict[Tuple[str, int], DeadlineAssignment] = {}
+        # Distributions reusable across the size sweep (non-ADAPT methods),
+        # keyed by (method label, graph index).
+        reusable: Dict[object, DeadlineAssignment] = {}
         for n_processors in config.system_sizes:
             speeds = speeds_for(config.speed_profile, n_processors)
             system = System(
@@ -149,50 +311,36 @@ def run_experiment(
             for method in config.methods:
                 distributor = method.build()
                 for index, graph in enumerate(graphs):
-                    key = (method.label, index)
-                    if method.needs_system_size:
-                        assignment = distributor.distribute(
+                    with inst.phase("distribute"):
+                        assignment = distribute_for_trial(
+                            method,
+                            distributor,
                             graph,
-                            n_processors=n_processors,
-                            total_capacity=total_capacity,
+                            n_processors,
+                            total_capacity,
+                            reusable,
+                            (method.label, index),
                         )
-                    else:
-                        assignment = reusable.get(key)
-                        if assignment is None:
-                            assignment = distributor.distribute(
-                                graph,
-                                n_processors=n_processors,
-                                total_capacity=total_capacity,
-                            )
-                            reusable[key] = assignment
-                    metrics = run_trial(
-                        graph,
-                        assignment,
-                        system,
-                        policy_name=config.policy,
-                        respect_release_times=config.respect_release_times,
-                    )
+                    with inst.phase("schedule"):
+                        metrics = run_trial(
+                            graph,
+                            assignment,
+                            system,
+                            policy_name=config.policy,
+                            respect_release_times=config.respect_release_times,
+                        )
                     result.records.append(
-                        TrialRecord(
-                            experiment=config.name,
-                            scenario=scenario,
-                            n_processors=n_processors,
-                            method=method.label,
-                            graph_index=index,
-                            max_lateness=metrics.max_lateness,
-                            mean_lateness=metrics.mean_lateness,
-                            n_late=metrics.n_late,
-                            makespan=metrics.makespan,
-                            mean_utilization=metrics.mean_utilization,
-                            min_laxity=assignment.min_laxity(),
-                            max_end_to_end_lateness=(
-                                metrics.max_end_to_end_lateness
-                            ),
+                        make_record(
+                            config, scenario, n_processors, method,
+                            index, assignment, metrics,
                         )
                     )
-                    done += 1
-                    if progress is not None:
-                        progress(done, total)
+                    inst.completed()
 
+    if len(result.records) != config.n_trials:
+        raise ExperimentError(
+            f"experiment {config.name!r} produced {len(result.records)} "
+            f"records but planned {config.n_trials}"
+        )
     result.elapsed_seconds = time.perf_counter() - started
     return result

@@ -7,8 +7,10 @@ this module is for everything else one wants to ask the harness:
   experiment configs by varying one field or a cartesian grid of fields
   (both on the experiment config and on its nested graph config);
 * :func:`run_experiments` — execute a list of configs, optionally across
-  worker processes (one config per worker; configs with in-process
-  ``graph_factory`` closures are not picklable and force serial mode).
+  worker processes: either one config per worker (``processes``; configs
+  with in-process ``graph_factory`` closures are not picklable and force
+  serial mode) or one config at a time with its trials fanned out
+  (``jobs``, via :mod:`repro.feast.parallel`).
 """
 
 from __future__ import annotations
@@ -92,18 +94,31 @@ def run_experiments(
     configs: Sequence[ExperimentConfig],
     processes: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    jobs: int = 1,
 ) -> List[ExperimentResult]:
     """Run many experiments, optionally in parallel worker processes.
 
-    ``processes > 1`` distributes whole configs over a process pool;
-    results come back in input order. Configs carrying a
-    ``graph_factory`` (arbitrary closures) are not picklable, so their
-    presence falls back to serial execution. ``progress`` is called with
-    (completed configs, total) — per-trial progress is only available in
-    serial mode through :func:`repro.feast.runner.run_experiment`.
+    Two parallelism axes, mutually exclusive:
+
+    * ``processes > 1`` distributes whole configs over a process pool
+      (best for many small configs); results come back in input order.
+      Configs carrying a ``graph_factory`` (arbitrary closures) are not
+      picklable, so their presence falls back to serial execution.
+    * ``jobs > 1`` runs configs one after another but fans each config's
+      *trials* out over worker processes (best for few large configs);
+      see :func:`repro.feast.runner.run_experiment`.
+
+    ``progress`` is called with (completed configs, total) — per-trial
+    progress is only available through
+    :func:`repro.feast.runner.run_experiment` directly.
     """
     if processes < 1:
         raise ExperimentError(f"processes must be >= 1, got {processes}")
+    if processes > 1 and jobs != 1:
+        raise ExperimentError(
+            "choose one parallelism axis: processes>1 (configs across "
+            "workers) or jobs!=1 (trials across workers), not both"
+        )
     configs = list(configs)
     if not configs:
         return []
@@ -121,7 +136,7 @@ def run_experiments(
                     progress(index + 1, len(configs))
         return results
     for index, config in enumerate(configs):
-        results.append(run_experiment(config))
+        results.append(run_experiment(config, jobs=jobs))
         if progress is not None:
             progress(index + 1, len(configs))
     return results

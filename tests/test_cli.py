@@ -14,6 +14,11 @@ class TestParser:
         args = build_parser().parse_args(["run", "figure5"])
         assert args.experiment == "figure5"
         assert args.graphs is None
+        assert args.jobs is None  # None = cpu_count-aware default
+
+    def test_jobs_parsed(self):
+        args = build_parser().parse_args(["run", "figure5", "--jobs", "4"])
+        assert args.jobs == 4
 
     def test_run_sizes_parsed(self):
         args = build_parser().parse_args(
@@ -80,6 +85,16 @@ class TestCommands:
         lines = csv.read_text().splitlines()
         assert lines[0].startswith("experiment,")
         assert len(lines) == 1 + 3 * 1 * 3 * 2  # scen x size x methods x graphs
+
+    def test_run_with_jobs(self, capsys, tmp_path):
+        """--jobs 2 routes through the parallel engine; same CSV."""
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        base = ["run", "figure5", "--graphs", "2", "--sizes", "2,4",
+                "--quiet"]
+        assert main(base + ["--jobs", "1", "--csv", str(serial_csv)]) == 0
+        assert main(base + ["--jobs", "2", "--csv", str(parallel_csv)]) == 0
+        assert serial_csv.read_text() == parallel_csv.read_text()
 
     def test_run_multi_config_experiment(self, capsys):
         code = main([

@@ -107,6 +107,19 @@ class TestRunExperiments:
         results = run_experiments(configs, processes=4)
         assert len(results) == 2
 
+    def test_trial_jobs_match_serial(self):
+        configs = sweep_field(base_config(), "seed", [3, 4])
+        serial = run_experiments(configs)
+        fanned = run_experiments(configs, jobs=2)
+        for a, b in zip(serial, fanned):
+            assert [r.as_dict() for r in a.records] == [
+                r.as_dict() for r in b.records
+            ]
+
+    def test_nested_parallelism_rejected(self):
+        with pytest.raises(ExperimentError, match="one parallelism axis"):
+            run_experiments([base_config()], processes=2, jobs=2)
+
     def test_empty(self):
         assert run_experiments([]) == []
 

@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="method label for the report's improvement/significance section",
     )
     run.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall-clock timers (generate/distribute/"
+        "schedule) after each experiment",
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
 
@@ -153,6 +158,19 @@ def cmd_list() -> int:
     return 0
 
 
+def _phase_profile(name: str, instrumentation) -> str:
+    """Render the per-phase wall-clock summary of one experiment run."""
+    timings = instrumentation.timings
+    total = timings.total or 1.0
+    lines = [f"phase profile ({name}):"]
+    for phase, seconds in timings.as_dict().items():
+        lines.append(
+            f"  {phase:<12} {seconds:8.3f}s  ({100.0 * seconds / total:5.1f}%)"
+        )
+    lines.append(f"  {'total':<12} {timings.total:8.3f}s")
+    return "\n".join(lines)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.graphs is not None:
@@ -179,9 +197,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             if not args.quiet and done % max(1, total // 10) == 0:
                 print(f"  {done}/{total}", file=sys.stderr)
 
-        result = run_experiment(config, progress=progress, jobs=jobs)
+        instrumentation = None
+        if args.profile:
+            from repro.feast.instrumentation import Instrumentation
+
+            instrumentation = Instrumentation()
+        result = run_experiment(
+            config, progress=progress, jobs=jobs,
+            instrumentation=instrumentation,
+        )
         print(lateness_report(result))
         print()
+        if instrumentation is not None:
+            print(_phase_profile(config.name, instrumentation))
+            print()
         if args.plot:
             from repro.feast import lateness_plot
 

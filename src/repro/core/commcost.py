@@ -62,6 +62,19 @@ class CommCostEstimator(ABC):
     def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
         """Estimate for an arc whose placement is not fully known."""
 
+    def cache_key(self) -> Optional[object]:
+        """Hashable identity for expanded-graph reuse, or ``None``.
+
+        Two estimators with equal keys must produce identical
+        :meth:`estimate` results on every (graph, message); the key lets
+        :meth:`ExpandedGraph.for_graph
+        <repro.core.expanded.ExpandedGraph.for_graph>` share one expansion
+        across metrics and platform sizes. The conservative default is
+        ``None`` — never cached — so estimators carrying external state
+        (like :class:`Oracle`'s assignment map) cannot be served stale.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(cost_per_item={self.cost_per_item})"
 
@@ -74,6 +87,9 @@ class CCNE(CommCostEstimator):
     def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
         return 0.0
 
+    def cache_key(self) -> Optional[object]:
+        return (CCNE, self.cost_per_item)
+
 
 class CCAA(CommCostEstimator):
     """Communication Cost Always Assumed: assume cross-processor placement."""
@@ -82,6 +98,9 @@ class CCAA(CommCostEstimator):
 
     def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
         return self.transfer_cost(message)
+
+    def cache_key(self) -> Optional[object]:
+        return (CCAA, self.cost_per_item)
 
 
 class Scaled(CommCostEstimator):
@@ -101,6 +120,9 @@ class Scaled(CommCostEstimator):
 
     def _estimate_relaxed(self, graph: TaskGraph, message: Message) -> Time:
         return self.factor * self.transfer_cost(message)
+
+    def cache_key(self) -> Optional[object]:
+        return (Scaled, self.cost_per_item, self.factor)
 
 
 class Oracle(CommCostEstimator):

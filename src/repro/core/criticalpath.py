@@ -18,12 +18,20 @@ topological order that is exact for the paper's metrics:
 
 Ties between equal-R candidates are broken deterministically (the paper
 breaks them arbitrarily): by fewer nodes, then by the path's id sequence.
+
+The search runs on the expansion's dense integer ids
+(:func:`find_critical_path_indexed`), walking only the still-unassigned
+nodes the slicer hands it; id-sequence ties compare via the expansion's
+precomputed lexicographic ranks, which orders exactly like the string
+sequences did. :func:`find_critical_path` is the string-keyed wrapper kept
+for callers addressing nodes by id.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from operator import itemgetter
+from typing import List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.expanded import ExpandedGraph
 from repro.core.metrics import SlicingMetric
@@ -39,6 +47,9 @@ class CriticalPath:
     ratio: float
     release: Time
     deadline: Time
+    #: Dense expanded-graph ids of ``nodes`` (same order); empty when the
+    #: path was built outside the indexed search.
+    indices: Tuple[int, ...] = field(default=(), compare=False)
 
     @property
     def end_to_end(self) -> Time:
@@ -48,32 +59,138 @@ class CriticalPath:
         return len(self.nodes)
 
 
-class _State:
-    """One partial path ending at ``node``."""
+# A partial path ending at a node is a plain tuple
+#   (release, cost, count, node, parent)
+# with ``parent`` the predecessor state tuple (or None); tuples keep the
+# inner DP loop allocation-light. ``_state_path`` rebuilds the node-id
+# sequence by walking the parent chain.
+_State = tuple
 
-    __slots__ = ("release", "cost", "count", "node", "parent")
+_BY_RELEASE = itemgetter(0)
+_BY_COST = itemgetter(1)
 
-    def __init__(
-        self,
-        release: Time,
-        cost: Time,
-        count: int,
-        node: str,
-        parent: Optional["_State"],
-    ) -> None:
-        self.release = release
-        self.cost = cost
-        self.count = count
-        self.node = node
-        self.parent = parent
 
-    def path(self) -> Tuple[str, ...]:
-        nodes: List[str] = []
-        state: Optional[_State] = self
-        while state is not None:
-            nodes.append(state.node)
-            state = state.parent
-        return tuple(reversed(nodes))
+def _state_path(state) -> Tuple[int, ...]:
+    nodes: List[int] = []
+    while state is not None:
+        nodes.append(state[3])
+        state = state[4]
+    return tuple(reversed(nodes))
+
+
+def find_critical_path_indexed(
+    expanded: ExpandedGraph,
+    metric: SlicingMetric,
+    remaining: Sequence[int],
+    has_release: bytearray,
+    release_anchor: List[Time],
+    has_deadline: bytearray,
+    deadline_anchor: List[Time],
+    vcost: List[Time],
+) -> CriticalPath:
+    """Return the candidate path minimizing ``metric``, on dense ids.
+
+    ``remaining`` must list the unassigned dense ids **in topological
+    order** — the dynamic program walks exactly that list, so each slicing
+    iteration pays only for what is still unassigned. ``has_*`` /
+    ``*_anchor`` carry the current anchors (static application anchors plus
+    anchors inherited from already-sliced neighbours) and ``vcost`` the
+    metric's precomputed per-node virtual costs. Raises
+    :class:`DistributionError` when no candidate path exists — which cannot
+    happen for a validated graph and indicates corrupted anchor
+    bookkeeping.
+    """
+    n = len(expanded.by_index)
+    states: List[Optional[List[_State]]] = [None] * n
+    pred_lists = expanded.pred_lists
+    lex_rank = expanded.lex_rank
+    uses_count = metric.uses_count
+    ratio_of = metric.ratio
+    # Best candidate so far, under the total order (ratio, count, path
+    # id-sequence) — total, because equal ratio+count+sequence means the
+    # same path, so the scan order cannot change the winner.
+    best_r = 0.0
+    best_c = 0
+    best_s: Optional[_State] = None
+
+    for i in remaining:
+        vc = vcost[i]
+        if uses_count:
+            # Merge incoming states in place: per path length, the single
+            # state maximizing release + cost, first-seen winning ties
+            # (self-anchor before predecessors, predecessors in adjacency
+            # order). The slots are mutated, not reallocated, so the inner
+            # loop allocates only on a strict improvement's parent swap.
+            by_count: dict = {}
+            if has_release[i]:
+                r = release_anchor[i]
+                by_count[1] = [r + vc, r, vc, None]
+            for p in pred_lists[i]:
+                plist = states[p]
+                if plist:
+                    for s in plist:
+                        cost = s[1] + vc
+                        val = s[0] + cost
+                        c = s[2] + 1
+                        cur = by_count.get(c)
+                        if cur is None:
+                            by_count[c] = [val, s[0], cost, s]
+                        elif val > cur[0]:
+                            cur[0] = val
+                            cur[1] = s[0]
+                            cur[2] = cost
+                            cur[3] = s
+            if not by_count:
+                continue
+            # No need to order by count: downstream merges key on the
+            # count stored in each state, and the candidate scan below
+            # picks the minimum of a total order — both are invariant
+            # to the order of this list (dict order is deterministic).
+            kept: List[_State] = [
+                (slot[1], slot[2], c, i, slot[3])
+                for c, slot in by_count.items()
+            ]
+        else:
+            incoming: List[_State] = []
+            if has_release[i]:
+                incoming.append((release_anchor[i], vc, 1, i, None))
+            for p in pred_lists[i]:
+                plist = states[p]
+                if plist:
+                    for s in plist:
+                        incoming.append((s[0], s[1] + vc, s[2] + 1, i, s))
+            if not incoming:
+                continue
+            kept = _pareto(incoming)
+        states[i] = kept
+        if has_deadline[i]:
+            deadline = deadline_anchor[i]
+            for s in kept:
+                ratio = ratio_of(deadline - s[0], s[1], s[2])
+                if best_s is None or ratio < best_r:
+                    best_r, best_c, best_s = ratio, s[2], s
+                elif ratio == best_r:
+                    c = s[2]
+                    if c < best_c or (
+                        c == best_c
+                        and [lex_rank[j] for j in _state_path(s)]
+                        < [lex_rank[j] for j in _state_path(best_s)]
+                    ):
+                        best_r, best_c, best_s = ratio, c, s
+
+    if best_s is None:
+        raise DistributionError(
+            "no candidate path between anchors; anchor bookkeeping is corrupt"
+        )
+    indices = _state_path(best_s)
+    eids = expanded.eids
+    return CriticalPath(
+        nodes=tuple(eids[i] for i in indices),
+        ratio=best_r,
+        release=best_s[0],
+        deadline=deadline_anchor[best_s[3]],
+        indices=indices,
+    )
 
 
 def find_critical_path(
@@ -83,81 +200,52 @@ def find_critical_path(
     pending_release: Mapping[str, Time],
     pending_deadline: Mapping[str, Time],
 ) -> CriticalPath:
-    """Return the candidate path minimizing ``metric`` among ``unassigned``.
+    """String-keyed wrapper over :func:`find_critical_path_indexed`.
 
-    ``pending_release``/``pending_deadline`` carry the current anchors
-    (static application anchors plus anchors inherited from already-sliced
-    neighbours). Raises :class:`DistributionError` when no candidate path
-    exists — which cannot happen for a validated graph and indicates
-    corrupted anchor bookkeeping.
+    ``pending_release``/``pending_deadline`` carry the current anchors,
+    keyed by expanded node id; ``unassigned`` restricts the search.
     """
-    states: Dict[str, List[_State]] = {}
-    best: Optional[Tuple[float, int, _State]] = None
-
-    for eid in expanded.topological_order():
-        if eid not in unassigned:
-            continue
-        node = expanded.node(eid)
-        vcost = metric.virtual_cost(node)
-        incoming: List[_State] = []
-        if eid in pending_release:
-            incoming.append(_State(pending_release[eid], vcost, 1, eid, None))
-        for pred in expanded.predecessors(eid):
-            for s in states.get(pred, ()):
-                incoming.append(
-                    _State(s.release, s.cost + vcost, s.count + 1, eid, s)
-                )
-        if not incoming:
-            continue
-        kept = _prune(incoming, metric.uses_count)
-        states[eid] = kept
-        if eid in pending_deadline:
-            deadline = pending_deadline[eid]
-            for s in kept:
-                ratio = metric.ratio(deadline - s.release, s.cost, s.count)
-                candidate = (ratio, s.count, s)
-                if best is None or _better(candidate, best):
-                    best = candidate
-
-    if best is None:
-        raise DistributionError(
-            "no candidate path between anchors; anchor bookkeeping is corrupt"
-        )
-    _, __, state = best
-    end = state.node
-    return CriticalPath(
-        nodes=state.path(),
-        ratio=best[0],
-        release=state.release,
-        deadline=pending_deadline[end],
+    n = len(expanded.by_index)
+    eids = expanded.eids
+    has_release = bytearray(n)
+    release_anchor: List[Time] = [0.0] * n
+    has_deadline = bytearray(n)
+    deadline_anchor: List[Time] = [0.0] * n
+    for eid, t in pending_release.items():
+        i = expanded.nodes[eid].index
+        has_release[i] = 1
+        release_anchor[i] = t
+    for eid, t in pending_deadline.items():
+        i = expanded.nodes[eid].index
+        has_deadline[i] = 1
+        deadline_anchor[i] = t
+    remaining = [i for i in expanded.topo_indices if eids[i] in unassigned]
+    vcost = [metric.virtual_cost(nd) for nd in expanded.by_index]
+    return find_critical_path_indexed(
+        expanded, metric, remaining,
+        has_release, release_anchor,
+        has_deadline, deadline_anchor,
+        vcost,
     )
 
 
-def _better(a: Tuple[float, int, _State], b: Tuple[float, int, _State]) -> bool:
-    """Deterministic candidate ordering: smaller R, then shorter path,
-    then lexicographically smaller node sequence."""
-    if a[0] != b[0]:
-        return a[0] < b[0]
-    if a[1] != b[1]:
-        return a[1] < b[1]
-    return a[2].path() < b[2].path()
+def _pareto(incoming: List[_State]) -> List[_State]:
+    """Pareto frontier over (release, cost), larger-is-better.
 
-
-def _prune(incoming: List[_State], uses_count: bool) -> List[_State]:
-    if uses_count:
-        # Keep, per path length, the single state maximizing release + cost.
-        by_count: Dict[int, _State] = {}
-        for s in incoming:
-            cur = by_count.get(s.count)
-            if cur is None or s.release + s.cost > cur.release + cur.cost:
-                by_count[s.count] = s
-        return [by_count[n] for n in sorted(by_count)]
-    # Pareto frontier over (release, cost), larger-is-better.
-    ordered = sorted(incoming, key=lambda s: (-s.release, -s.cost))
+    Order contract: the frontier is sorted by (release desc, cost desc),
+    ties keeping first-incoming order — downstream Pareto merges tie-break
+    on that order, so it is part of the deterministic-output contract.
+    """
+    if len(incoming) == 1:
+        return incoming
+    # Two stable C-level passes == one sort by (-release, -cost): reverse
+    # sorts keep the original order of equal elements.
+    incoming.sort(key=_BY_COST, reverse=True)
+    incoming.sort(key=_BY_RELEASE, reverse=True)
     kept: List[_State] = []
     best_cost = float("-inf")
-    for s in ordered:
-        if s.cost > best_cost:
+    for s in incoming:
+        if s[1] > best_cost:
             kept.append(s)
-            best_cost = s.cost
+            best_cost = s[1]
     return kept

@@ -7,12 +7,39 @@ becomes an :class:`ENode` of kind ``"comm"`` spliced between its endpoints;
 zero-cost arcs remain plain edges. The expanded graph is an internal data
 structure of the ``repro.core`` layer — users interact with
 :class:`~repro.graph.taskgraph.TaskGraph` only.
+
+Representation
+--------------
+The expansion is a thin integer-indexed overlay on the graph's compiled
+:class:`~repro.graph.indexed.GraphIndex`: expanded node ``i`` for
+``i < n_tasks`` *is* dense task id ``i`` of the index; materialized
+communication subtasks follow, in edge insertion order. Successor /
+predecessor adjacency, costs, anchors and the topological order are flat
+arrays over those ids, which is what the critical-path search and the
+slicer iterate. The string-keyed accessors (``successors("a")`` etc.) are
+a compatibility surface over the same arrays.
+
+The topological order follows the unified contract of
+:mod:`repro.graph.indexed`: Kahn's algorithm, insertion order among
+simultaneously ready nodes (task nodes in graph insertion order, comm
+nodes in message insertion order).
+
+Reuse
+-----
+An expansion depends only on (graph structure, node/message values,
+estimator) — **not** on the slicing metric and not on the platform. Build
+it through :meth:`ExpandedGraph.for_graph` and one instance is cached on
+the graph's index and shared by every metric and every system size of a
+trial; the cache keys on the estimator's :meth:`cache_key
+<repro.core.commcost.CommCostEstimator.cache_key>` plus the index's value
+fingerprint, so attribute mutation between calls rebuilds instead of
+serving stale costs. Instances must be treated as immutable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.commcost import CommCostEstimator
 from repro.graph.taskgraph import TaskGraph
@@ -29,7 +56,8 @@ class ENode:
 
     ``eid`` is unique across both kinds (comm nodes use the synthetic
     ``chi(src->dst)`` id). ``cost`` is the execution time for task nodes and
-    the *estimated* communication cost for comm nodes.
+    the *estimated* communication cost for comm nodes. ``index`` is the
+    node's dense id in the expansion's arrays.
     """
 
     eid: str
@@ -37,6 +65,7 @@ class ENode:
     cost: Time
     task_id: Optional[NodeId] = None
     edge: Optional[EdgeId] = None
+    index: int = -1
 
     @property
     def is_task(self) -> bool:
@@ -54,24 +83,69 @@ class ExpandedGraph:
         self.graph = graph
         self.estimator = estimator
         self.nodes: Dict[str, ENode] = {}
-        self._succ: Dict[str, List[str]] = {}
-        self._pred: Dict[str, List[str]] = {}
+        #: ENode per dense expanded id (tasks first, then comm nodes).
+        self.by_index: List[ENode] = []
+        #: Expanded-node id strings, by dense id.
+        self.eids: List[str] = []
+        #: Node cost per dense id.
+        self.costs: List[Time] = []
+        #: Flat adjacency over dense ids.
+        self.succ_lists: List[List[int]] = []
+        self.pred_lists: List[List[int]] = []
         #: Static anchors from the application (input releases, output
         #: end-to-end deadlines), keyed by expanded node id.
         self.static_release: Dict[str, Time] = {}
         self.static_deadline: Dict[str, Time] = {}
+        #: Array form of the static anchors (value meaningful only where
+        #: the ``has_*`` byte is set).
+        self.release_anchor: List[Time] = []
+        self.deadline_anchor: List[Time] = []
+        self.has_release: bytearray = bytearray()
+        self.has_deadline: bytearray = bytearray()
         self._build()
+
+    # ------------------------------------------------------------------
+    # Cached construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_graph(
+        cls, graph: TaskGraph, estimator: CommCostEstimator
+    ) -> "ExpandedGraph":
+        """The expansion of ``graph`` under ``estimator``, cached.
+
+        One expansion per (graph structure, values, estimator) is built
+        and shared across metrics and platform sizes; estimators whose
+        :meth:`~repro.core.commcost.CommCostEstimator.cache_key` is
+        ``None`` (stateful ones, e.g. Oracle) are built fresh each call.
+        """
+        key = estimator.cache_key()
+        if key is None:
+            return cls(graph, estimator)
+        index = graph.index()
+        fingerprint = index.value_fingerprint()
+        cached = index._expanded_cache.get(key)
+        if cached is not None and cached[0] == fingerprint:
+            expanded = cached[1]
+            assert isinstance(expanded, cls)
+            return expanded
+        expanded = cls(graph, estimator)
+        index._expanded_cache[key] = (fingerprint, expanded)
+        return expanded
 
     def _build(self) -> None:
         graph = self.graph
-        for sub in graph.nodes():
+        index = graph.index()
+        self.index = index
+        self.n_tasks = index.n_nodes
+
+        for i, sub in enumerate(index.subtasks):
             enode = ENode(
-                eid=sub.node_id, kind=TASK, cost=sub.wcet, task_id=sub.node_id
+                eid=sub.node_id, kind=TASK, cost=sub.wcet,
+                task_id=sub.node_id, index=i,
             )
-            self.nodes[enode.eid] = enode
-            self._succ[enode.eid] = []
-            self._pred[enode.eid] = []
-        for message in graph.messages():
+            self._append_node(enode)
+        for e, message in enumerate(index.edge_messages):
+            src, dst = index.edge_src[e], index.edge_dst[e]
             estimated = self.estimator.estimate(graph, message)
             if estimated > 0:
                 comm = ENode(
@@ -79,67 +153,99 @@ class ExpandedGraph:
                     kind=COMM,
                     cost=estimated,
                     edge=(message.src, message.dst),
+                    index=len(self.by_index),
                 )
-                self.nodes[comm.eid] = comm
-                self._succ[comm.eid] = [message.dst]
-                self._pred[comm.eid] = [message.src]
-                self._succ[message.src].append(comm.eid)
-                self._pred[message.dst].append(comm.eid)
+                self._append_node(comm)
+                self.succ_lists[comm.index].append(dst)
+                self.pred_lists[comm.index].append(src)
+                self.succ_lists[src].append(comm.index)
+                self.pred_lists[dst].append(comm.index)
             else:
-                self._succ[message.src].append(message.dst)
-                self._pred[message.dst].append(message.src)
+                self.succ_lists[src].append(dst)
+                self.pred_lists[dst].append(src)
         # Anchors come from ANY node carrying one, not just the boundary:
         # graph validation requires them on inputs/outputs, but interior
         # anchors (e.g. a periodic task's own deadline surviving an
         # unrolling that gave it downstream consumers) are honoured too —
         # a path may legitimately start or end at an interior anchor.
-        for sub in graph.nodes():
+        for i, sub in enumerate(index.subtasks):
             if sub.release is not None:
                 self.static_release[sub.node_id] = sub.release
+                self.release_anchor[i] = sub.release
+                self.has_release[i] = 1
             if sub.end_to_end_deadline is not None:
                 self.static_deadline[sub.node_id] = sub.end_to_end_deadline
+                self.deadline_anchor[i] = sub.end_to_end_deadline
+                self.has_deadline[i] = 1
         self._topo = self._topological_order()
+        #: Deterministic tie-break helper: rank of each node's eid among
+        #: all eids in lexicographic order (comparing rank sequences is
+        #: exactly comparing eid sequences).
+        rank = sorted(range(len(self.eids)), key=lambda i: self.eids[i])
+        self.lex_rank: List[int] = [0] * len(rank)
+        for r, i in enumerate(rank):
+            self.lex_rank[i] = r
 
-    def _topological_order(self) -> List[str]:
-        in_deg = {eid: len(self._pred[eid]) for eid in self.nodes}
-        ready = sorted(eid for eid, d in in_deg.items() if d == 0)
-        order: List[str] = []
+    def _append_node(self, enode: ENode) -> None:
+        self.nodes[enode.eid] = enode
+        self.by_index.append(enode)
+        self.eids.append(enode.eid)
+        self.costs.append(enode.cost)
+        self.succ_lists.append([])
+        self.pred_lists.append([])
+        self.release_anchor.append(0.0)
+        self.deadline_anchor.append(0.0)
+        self.has_release.append(0)
+        self.has_deadline.append(0)
+
+    def _topological_order(self) -> List[int]:
+        n = len(self.by_index)
+        in_deg = [len(p) for p in self.pred_lists]
+        order = [i for i in range(n) if in_deg[i] == 0]
         head = 0
-        ready = list(ready)
-        while head < len(ready):
-            eid = ready[head]
+        while head < len(order):
+            i = order[head]
             head += 1
-            order.append(eid)
-            for s in self._succ[eid]:
+            for s in self.succ_lists[i]:
                 in_deg[s] -= 1
                 if in_deg[s] == 0:
-                    ready.append(s)
+                    order.append(s)
         # The underlying task graph is validated acyclic; splicing comm
         # nodes into arcs cannot create cycles.
-        assert len(order) == len(self.nodes)
+        assert len(order) == n
         return order
 
     # ------------------------------------------------------------------
+    # Integer API (the hot path)
+    # ------------------------------------------------------------------
+    @property
+    def topo_indices(self) -> List[int]:
+        """Dense ids in topological order (shared list — read-only)."""
+        return self._topo
+
+    # ------------------------------------------------------------------
+    # String compatibility API
+    # ------------------------------------------------------------------
     def topological_order(self) -> List[str]:
-        return list(self._topo)
+        return [self.eids[i] for i in self._topo]
 
     def successors(self, eid: str) -> List[str]:
-        return list(self._succ[eid])
+        return [self.eids[i] for i in self.succ_lists[self.nodes[eid].index]]
 
     def predecessors(self, eid: str) -> List[str]:
-        return list(self._pred[eid])
+        return [self.eids[i] for i in self.pred_lists[self.nodes[eid].index]]
 
     def node(self, eid: str) -> ENode:
         return self.nodes[eid]
 
     def task_nodes(self) -> List[ENode]:
-        return [n for n in self.nodes.values() if n.is_task]
+        return [n for n in self.by_index if n.is_task]
 
     def comm_nodes(self) -> List[ENode]:
-        return [n for n in self.nodes.values() if n.is_comm]
+        return [n for n in self.by_index if n.is_comm]
 
     def __len__(self) -> int:
-        return len(self.nodes)
+        return len(self.by_index)
 
     def __contains__(self, eid: object) -> bool:
         return eid in self.nodes

@@ -22,11 +22,11 @@ pairings.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.core.annotations import DeadlineAssignment, SliceRecord, Window
 from repro.core.commcost import CCNE, CommCostEstimator
-from repro.core.criticalpath import find_critical_path
+from repro.core.criticalpath import CriticalPath, find_critical_path_indexed
 from repro.core.expanded import ExpandedGraph
 from repro.core.metrics import (
     AdaptiveLaxityRatio,
@@ -61,11 +61,15 @@ class DeadlineDistributor:
     When an end-to-end budget cannot even hold its path's execution time
     (negative slack), no window set can satisfy precedence consistency,
     release anchors and deadline anchors simultaneously. The clamp resolves
-    the conflict in that priority order: windows stay precedence-consistent
-    and never release before their anchors, but collapsed (zero-width)
-    windows may then slide past a deadline anchor. Such assignments show up
-    as ``degenerate_windows`` on the result and as positive lateness in the
-    evaluation — they are measurements of infeasibility, not errors.
+    the conflict in that priority order: windows along the sliced path stay
+    precedence-consistent and never release before their anchors, but
+    collapsed (zero-width) windows may then slide past a deadline anchor.
+    Because an *inherited* deadline anchor encodes precedence toward an
+    already-sliced successor, a collapsed window sliding past one surfaces
+    as ``deadline(pred) > release(succ)`` on that arc. Such assignments
+    show up as ``degenerate_windows`` on the result and as positive
+    lateness in the evaluation — they are measurements of infeasibility,
+    not errors.
     """
 
     def __init__(
@@ -92,7 +96,7 @@ class DeadlineDistributor:
         heterogeneous platforms.
         """
         graph.validate()
-        expanded = ExpandedGraph(graph, self.estimator)
+        expanded = ExpandedGraph.for_graph(graph, self.estimator)
         context = MetricContext(
             graph=graph,
             n_processors=n_processors,
@@ -100,15 +104,30 @@ class DeadlineDistributor:
         )
         self.metric.prepare(expanded, context)
 
-        unassigned: Set[str] = set(expanded.nodes)
-        pending_release: Dict[str, Time] = dict(expanded.static_release)
-        pending_deadline: Dict[str, Time] = dict(expanded.static_deadline)
-        windows: Dict[str, Window] = {}
+        n = len(expanded)
+        # Per-iteration state, all over dense expanded ids: the unassigned
+        # mask plus its topologically-ordered compaction (each critical-path
+        # DP walks only what is still unassigned), the pending anchors, and
+        # the metric's virtual costs (computed once — they do not change
+        # between slices).
+        unassigned = bytearray(b"\x01" * n)
+        remaining: List[int] = list(expanded.topo_indices)
+        has_release = bytearray(expanded.has_release)
+        release_anchor: List[Time] = list(expanded.release_anchor)
+        has_deadline = bytearray(expanded.has_deadline)
+        deadline_anchor: List[Time] = list(expanded.deadline_anchor)
+        vcost: List[Time] = [
+            self.metric.virtual_cost(nd) for nd in expanded.by_index
+        ]
+        windows: Dict[int, Window] = {}
         slices = []
 
-        while unassigned:
-            path = find_critical_path(
-                expanded, self.metric, unassigned, pending_release, pending_deadline
+        while remaining:
+            path = find_critical_path_indexed(
+                expanded, self.metric, remaining,
+                has_release, release_anchor,
+                has_deadline, deadline_anchor,
+                vcost,
             )
             slices.append(
                 SliceRecord(
@@ -118,12 +137,20 @@ class DeadlineDistributor:
                     deadline=path.deadline,
                 )
             )
-            self._slice(expanded, path, pending_release, pending_deadline, windows)
-            for eid in path.nodes:
-                unassigned.discard(eid)
+            self._slice(
+                expanded, path,
+                has_release, release_anchor,
+                has_deadline, deadline_anchor,
+                windows,
+            )
+            for i in path.indices:
+                unassigned[i] = 0
+            remaining = [i for i in remaining if unassigned[i]]
             self._propagate_anchors(
-                expanded, path.nodes, unassigned,
-                pending_release, pending_deadline, windows,
+                expanded, path.indices, unassigned,
+                has_release, release_anchor,
+                has_deadline, deadline_anchor,
+                windows,
             )
 
         return self._build_assignment(expanded, windows, slices, n_processors)
@@ -132,19 +159,21 @@ class DeadlineDistributor:
     def _slice(
         self,
         expanded: ExpandedGraph,
-        path,
-        pending_release: Dict[str, Time],
-        pending_deadline: Dict[str, Time],
-        windows: Dict[str, Window],
+        path: CriticalPath,
+        has_release: bytearray,
+        release_anchor: List[Time],
+        has_deadline: bytearray,
+        deadline_anchor: List[Time],
+        windows: Dict[int, Window],
     ) -> None:
         """Figure 1 step 4: consecutive windows along the critical path."""
         ratio = path.ratio
         clock = path.release
+        by_index = expanded.by_index
         raw = []
-        for eid in path.nodes:
-            node = expanded.node(eid)
-            d = self.metric.relative_deadline(node, ratio)
-            raw.append((eid, clock, clock + d))
+        for i in path.indices:
+            d = self.metric.relative_deadline(by_index[i], ratio)
+            raw.append((i, clock, clock + d))
             clock += d
         # The metric's telescoping property lands the last deadline on the
         # path's end-to-end deadline (up to float error).
@@ -154,58 +183,70 @@ class DeadlineDistributor:
                 f"path ends at {clock}, expected {path.deadline}"
             )
         prev_deadline = path.release
-        for eid, release, deadline in raw:
+        for i, release, deadline in raw:
             if self.clamp_to_anchors:
                 # Keep windows inside the node's pending anchors and after
                 # the (possibly clamped) predecessor window, so the edge
                 # invariant deadline(pred) <= release(succ) survives. An
                 # over-constrained node collapses to a zero-width window.
-                release = max(release, pending_release.get(eid, release), prev_deadline)
-                deadline = min(deadline, pending_deadline.get(eid, deadline))
-                deadline = max(deadline, release)
+                if has_release[i] and release_anchor[i] > release:
+                    release = release_anchor[i]
+                if prev_deadline > release:
+                    release = prev_deadline
+                if has_deadline[i] and deadline_anchor[i] < deadline:
+                    deadline = deadline_anchor[i]
+                if release > deadline:
+                    deadline = release
                 prev_deadline = deadline
-            windows[eid] = Window(
+            windows[i] = Window(
                 release=release,
                 absolute_deadline=deadline,
-                cost=expanded.node(eid).cost,
+                cost=expanded.costs[i],
             )
 
     @staticmethod
     def _propagate_anchors(
         expanded: ExpandedGraph,
-        sliced_nodes,
-        unassigned: Set[str],
-        pending_release: Dict[str, Time],
-        pending_deadline: Dict[str, Time],
-        windows: Dict[str, Window],
+        sliced_indices,
+        unassigned: bytearray,
+        has_release: bytearray,
+        release_anchor: List[Time],
+        has_deadline: bytearray,
+        deadline_anchor: List[Time],
+        windows: Dict[int, Window],
     ) -> None:
         """Figure 1 steps 5–11 (following the prose; see DESIGN.md §5):
         unassigned successors inherit a release anchor, unassigned
         predecessors inherit a deadline anchor."""
-        for eid in sliced_nodes:
-            w = windows[eid]
-            for succ in expanded.successors(eid):
-                if succ in unassigned:
-                    current = pending_release.get(succ)
-                    if current is None or w.absolute_deadline > current:
-                        pending_release[succ] = w.absolute_deadline
-            for pred in expanded.predecessors(eid):
-                if pred in unassigned:
-                    current = pending_deadline.get(pred)
-                    if current is None or w.release < current:
-                        pending_deadline[pred] = w.release
+        succ_lists = expanded.succ_lists
+        pred_lists = expanded.pred_lists
+        for i in sliced_indices:
+            w = windows[i]
+            for s in succ_lists[i]:
+                if unassigned[s] and (
+                    not has_release[s] or w.absolute_deadline > release_anchor[s]
+                ):
+                    has_release[s] = 1
+                    release_anchor[s] = w.absolute_deadline
+            for p in pred_lists[i]:
+                if unassigned[p] and (
+                    not has_deadline[p] or w.release < deadline_anchor[p]
+                ):
+                    has_deadline[p] = 1
+                    deadline_anchor[p] = w.release
 
     def _build_assignment(
         self,
         expanded: ExpandedGraph,
-        windows: Dict[str, Window],
+        windows: Dict[int, Window],
         slices,
         n_processors: Optional[int],
     ) -> DeadlineAssignment:
         task_windows = {}
         message_windows = {}
-        for eid, window in windows.items():
-            node = expanded.node(eid)
+        by_index = expanded.by_index
+        for i, window in windows.items():
+            node = by_index[i]
             if node.is_task:
                 task_windows[node.task_id] = window
             else:

@@ -211,6 +211,13 @@ def distribute_for_trial(
     ``DeadlineAssignment.n_processors`` always matches the trial's system
     (previously the cache froze the first sweep size's platform into
     every later size's metadata).
+
+    Two reuse layers compose here: this cache skips whole *distributions*
+    per (graph, method) across the size sweep, while below it the graph's
+    :class:`~repro.graph.indexed.GraphIndex` shares one compiled structure
+    and one :class:`~repro.core.expanded.ExpandedGraph` per estimator
+    across *all* methods of the trial (so the size-dependent recomputes
+    ADAPT forces still skip re-expanding the graph).
     """
     if method.needs_system_size:
         return distributor.distribute(

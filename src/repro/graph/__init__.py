@@ -1,6 +1,7 @@
 """Task-graph substrate: model, generators, analysis, serialization."""
 
 from repro.graph.node import CommSubtask, Message, Subtask
+from repro.graph.indexed import GraphIndex
 from repro.graph.taskgraph import TaskGraph
 from repro.graph.generator import (
     HDET,
@@ -42,6 +43,7 @@ __all__ = [
     "CommSubtask",
     "Message",
     "Subtask",
+    "GraphIndex",
     "TaskGraph",
     "RandomGraphConfig",
     "PAPER_CONFIG",

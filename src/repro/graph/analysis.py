@@ -59,25 +59,39 @@ class GraphStats:
 
 
 def graph_stats(graph: TaskGraph) -> GraphStats:
-    """Compute the :class:`GraphStats` of ``graph``."""
-    wcets: List[Time] = [s.wcet for s in graph.nodes()]
-    met = graph.mean_execution_time()
-    n_edges = graph.n_edges
-    mean_msg = graph.total_message_volume() / n_edges if n_edges else 0.0
+    """Compute the :class:`GraphStats` of ``graph``.
+
+    All structural quantities come from the compiled
+    :class:`~repro.graph.indexed.GraphIndex` (one topological sweep
+    serves the depth, longest-path and parallelism figures)."""
+    index = graph.index()
+    wcets: List[Time] = index.wcet_array()
+    if not wcets:
+        graph.mean_execution_time()  # raises the canonical empty-graph error
+    total_workload = sum(wcets)
+    met = total_workload / len(wcets)
+    n_edges = index.n_edges
+    total_msg = sum(index.message_size_array())
+    mean_msg = total_msg / n_edges if n_edges else 0.0
+    longest = paths.longest_path_length(graph)
     return GraphStats(
-        n_subtasks=graph.n_subtasks,
+        n_subtasks=index.n_nodes,
         n_edges=n_edges,
-        n_inputs=len(graph.input_subtasks()),
-        n_outputs=len(graph.output_subtasks()),
-        n_pinned=len(graph.pinned_subtasks()),
-        depth=paths.graph_depth(graph),
-        total_workload=graph.total_workload(),
+        n_inputs=sum(
+            1 for i in range(index.n_nodes) if index.in_degree_of(i) == 0
+        ),
+        n_outputs=sum(
+            1 for i in range(index.n_nodes) if index.out_degree_of(i) == 0
+        ),
+        n_pinned=sum(1 for s in index.subtasks if s.is_pinned),
+        depth=max(index.depths()),
+        total_workload=total_workload,
         mean_execution_time=met,
         min_execution_time=min(wcets),
         max_execution_time=max(wcets),
-        longest_path_execution_time=paths.longest_path_length(graph),
-        average_parallelism=paths.average_parallelism(graph),
-        total_message_volume=graph.total_message_volume(),
+        longest_path_execution_time=longest,
+        average_parallelism=total_workload / longest,
+        total_message_volume=total_msg,
         mean_message_size=mean_msg,
         communication_to_computation_ratio=mean_msg / met if met else 0.0,
     )
@@ -85,9 +99,8 @@ def graph_stats(graph: TaskGraph) -> GraphStats:
 
 def width_histogram(graph: TaskGraph) -> Dict[int, int]:
     """Number of subtasks per level (1-based), a view of graph parallelism."""
-    levels = paths.level_of(graph)
     hist: Dict[int, int] = {}
-    for lvl in levels.values():
+    for lvl in graph.index().depths():
         hist[lvl] = hist.get(lvl, 0) + 1
     return dict(sorted(hist.items()))
 

@@ -1,0 +1,249 @@
+"""Compiled, integer-indexed representation of a task graph.
+
+Every analysis in this codebase — graph statistics, longest-path and
+parallelism queries, deadline distribution, list scheduling, the exact
+branch-and-bound — ultimately walks the same DAG. The string-keyed
+:class:`~repro.graph.taskgraph.TaskGraph` is the right *builder* surface,
+but its dict-of-lists adjacency pays a hash lookup and a defensive list
+copy per query, which dominates the inner loops at scale.
+
+:class:`GraphIndex` is the shared compiled form: dense integer node ids in
+insertion order, CSR-style successor/predecessor arrays (with a parallel
+edge-index array for O(1) message access per arc), and lazily cached
+topological order and depths. It is built once per :class:`TaskGraph` via
+:meth:`TaskGraph.index() <repro.graph.taskgraph.TaskGraph.index>` and
+invalidated by structural mutation (``add_subtask`` / ``add_edge``).
+
+Cache ownership (see DESIGN.md §"Indexed graph core"):
+
+* **structure** (ids, adjacency, topological order, depths) is cached here
+  and is immune to attribute mutation — changing a ``wcet`` or pin cannot
+  change the DAG shape;
+* **values** (costs, pins, anchors, message sizes) live on the
+  :class:`~repro.graph.node.Subtask` / :class:`~repro.graph.node.Message`
+  objects, which the index references directly — reads through
+  :attr:`subtasks` / :attr:`edge_messages` are always live. The snapshot
+  helpers (:meth:`wcet_array` & friends) re-read on every call, and
+  :meth:`value_fingerprint` lets value-dependent overlays (the expanded
+  graph) detect attribute mutation cheaply.
+
+Topological-order contract (unified across layers): Kahn's algorithm,
+deterministic, **insertion order among simultaneously ready nodes**. The
+:class:`TaskGraph` delegates here, and the expanded-graph overlay follows
+the same rule over its own node numbering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import CycleError
+from repro.types import NodeId, ProcessorId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.node import Message, Subtask
+    from repro.graph.taskgraph import TaskGraph
+
+
+class GraphIndex:
+    """Dense-id, CSR-adjacency snapshot of one :class:`TaskGraph`.
+
+    Node ``i`` is the ``i``-th subtask in insertion order; edge ``e`` is
+    the ``e``-th arc in insertion order. Do not construct directly —
+    obtain via :meth:`TaskGraph.index`, which caches one instance per
+    structural revision of the graph.
+    """
+
+    __slots__ = (
+        "ids", "id_of", "subtasks",
+        "edge_src", "edge_dst", "edge_messages", "edge_id_of",
+        "succ_indptr", "succ_ids", "succ_edges",
+        "pred_indptr", "pred_ids", "pred_edges",
+        "_topo", "_depths", "_expanded_cache",
+    )
+
+    def __init__(self, graph: "TaskGraph") -> None:
+        #: Node id of each dense index, in insertion order.
+        self.ids: List[NodeId] = graph.node_ids()
+        self.id_of: Dict[NodeId, int] = {n: i for i, n in enumerate(self.ids)}
+        #: Live Subtask references (attribute reads are never stale).
+        self.subtasks: List["Subtask"] = graph.nodes()
+
+        id_of = self.id_of
+        edges = graph.edges()
+        self.edge_src: List[int] = [id_of[s] for s, _ in edges]
+        self.edge_dst: List[int] = [id_of[d] for _, d in edges]
+        #: Live Message references, in edge insertion order.
+        self.edge_messages: List["Message"] = graph.messages()
+        self.edge_id_of: Dict[Tuple[int, int], int] = {
+            (s, d): e
+            for e, (s, d) in enumerate(zip(self.edge_src, self.edge_dst))
+        }
+
+        n = len(self.ids)
+        # CSR build preserving per-node adjacency order (edge insertion
+        # order within each node's list, matching TaskGraph._succ/_pred).
+        succ_lists: List[List[int]] = [[] for _ in range(n)]
+        pred_lists: List[List[int]] = [[] for _ in range(n)]
+        for e in range(len(edges)):
+            succ_lists[self.edge_src[e]].append(e)
+            pred_lists[self.edge_dst[e]].append(e)
+        self.succ_indptr, self.succ_ids, self.succ_edges = self._csr(
+            succ_lists, self.edge_dst
+        )
+        self.pred_indptr, self.pred_ids, self.pred_edges = self._csr(
+            pred_lists, self.edge_src
+        )
+
+        self._topo: Optional[List[int]] = None
+        self._depths: Optional[List[int]] = None
+        #: Expanded-graph overlay cache, owned by repro.core.expanded:
+        #: (estimator cache key) -> (value fingerprint, ExpandedGraph).
+        self._expanded_cache: Dict[object, Tuple[int, object]] = {}
+
+    @staticmethod
+    def _csr(
+        per_node_edges: List[List[int]], other_end: List[int]
+    ) -> Tuple[List[int], List[int], List[int]]:
+        indptr = [0]
+        node_ids: List[int] = []
+        edge_ids: List[int] = []
+        for edges in per_node_edges:
+            for e in edges:
+                node_ids.append(other_end[e])
+                edge_ids.append(e)
+            indptr.append(len(node_ids))
+        return indptr, node_ids, edge_ids
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.ids)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edge_src)
+
+    def successors_of(self, i: int) -> List[int]:
+        """Dense successor ids of node ``i`` (a fresh list)."""
+        return self.succ_ids[self.succ_indptr[i]:self.succ_indptr[i + 1]]
+
+    def predecessors_of(self, i: int) -> List[int]:
+        """Dense predecessor ids of node ``i`` (a fresh list)."""
+        return self.pred_ids[self.pred_indptr[i]:self.pred_indptr[i + 1]]
+
+    def in_degree_of(self, i: int) -> int:
+        return self.pred_indptr[i + 1] - self.pred_indptr[i]
+
+    def out_degree_of(self, i: int) -> int:
+        return self.succ_indptr[i + 1] - self.succ_indptr[i]
+
+    def message_between(self, src: int, dst: int) -> "Message":
+        """The Message on arc ``src -> dst`` (dense ids), O(1)."""
+        return self.edge_messages[self.edge_id_of[(src, dst)]]
+
+    # ------------------------------------------------------------------
+    # Cached order and depths
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[int]:
+        """Dense ids in Kahn topological order (insertion tie-break).
+
+        Cached after the first call; raises :class:`CycleError` (with one
+        concrete cycle, in node-id terms) when the graph is cyclic. The
+        returned list is shared — treat it as read-only.
+        """
+        if self._topo is None:
+            self._topo = self._compute_topo()
+        return self._topo
+
+    def _compute_topo(self) -> List[int]:
+        n = self.n_nodes
+        indptr, succ = self.succ_indptr, self.succ_ids
+        in_deg = [self.in_degree_of(i) for i in range(n)]
+        order = [i for i in range(n) if in_deg[i] == 0]
+        head = 0
+        while head < len(order):
+            i = order[head]
+            head += 1
+            for k in range(indptr[i], indptr[i + 1]):
+                s = succ[k]
+                in_deg[s] -= 1
+                if in_deg[s] == 0:
+                    order.append(s)
+        if len(order) != n:
+            self._raise_cycle(in_deg)
+        return order
+
+    def _raise_cycle(self, in_deg: List[int]) -> None:
+        """Find one concrete cycle among nodes with residual in-degree,
+        reported in node-id terms (deterministic: smallest id first)."""
+        remaining = {i for i in range(self.n_nodes) if in_deg[i] > 0}
+        start = min(remaining, key=lambda i: self.ids[i])
+        path: List[int] = []
+        seen: Dict[int, int] = {}
+        i = start
+        while i not in seen:
+            seen[i] = len(path)
+            path.append(i)
+            i = next(s for s in self.successors_of(i) if s in remaining)
+        cycle = path[seen[i]:] + [i]
+        raise CycleError([self.ids[j] for j in cycle])
+
+    def depths(self) -> List[int]:
+        """1-based level of each node: 1 + longest hop distance from any
+        input subtask. Cached; the returned list is shared (read-only)."""
+        if self._depths is None:
+            depth = [1] * self.n_nodes
+            indptr, pred = self.pred_indptr, self.pred_ids
+            for i in self.topological_order():
+                best = 0
+                for k in range(indptr[i], indptr[i + 1]):
+                    d = depth[pred[k]]
+                    if d > best:
+                        best = d
+                depth[i] = 1 + best
+            self._depths = depth
+        return self._depths
+
+    # ------------------------------------------------------------------
+    # Value snapshots (re-read live attributes on every call)
+    # ------------------------------------------------------------------
+    def wcet_array(self) -> List[Time]:
+        return [s.wcet for s in self.subtasks]
+
+    def release_array(self) -> List[Optional[Time]]:
+        return [s.release for s in self.subtasks]
+
+    def deadline_array(self) -> List[Optional[Time]]:
+        return [s.end_to_end_deadline for s in self.subtasks]
+
+    def pinned_array(self) -> List[Optional[ProcessorId]]:
+        return [s.pinned_to for s in self.subtasks]
+
+    def message_size_array(self) -> List[Time]:
+        return [m.size for m in self.edge_messages]
+
+    def value_fingerprint(self) -> int:
+        """Hash of every mutable attribute an overlay may have baked in.
+
+        Structure is immutable for the lifetime of an index (mutation
+        builds a new one), but costs, anchors, pins and message sizes are
+        live attributes; overlays that snapshot them (the expanded graph)
+        key their cache on this fingerprint so attribute mutation between
+        calls is detected instead of silently served stale.
+        """
+        return hash((
+            tuple(
+                (s.wcet, s.release, s.end_to_end_deadline, s.pinned_to)
+                for s in self.subtasks
+            ),
+            tuple(m.size for m in self.edge_messages),
+        ))
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __repr__(self) -> str:
+        return f"GraphIndex(nodes={self.n_nodes}, edges={self.n_edges})"

@@ -30,10 +30,9 @@ def longest_path_length(graph: TaskGraph, include_messages: bool = False) -> Tim
     message size (an upper bound on the communication-inclusive critical
     path, matching the CCAA world-view).
     """
-    best = _longest_suffix(graph, include_messages)
-    if not best:
+    if not len(graph):
         raise ValidationError("longest path of an empty graph")
-    return max(best.values())
+    return max(_suffix_array(graph, include_messages))
 
 
 def longest_path(graph: TaskGraph, include_messages: bool = False) -> List[NodeId]:
@@ -41,41 +40,57 @@ def longest_path(graph: TaskGraph, include_messages: bool = False) -> List[NodeI
 
     Ties are broken deterministically toward lexicographically smaller ids.
     """
-    suffix = _longest_suffix(graph, include_messages)
-    if not suffix:
+    if not len(graph):
         raise ValidationError("longest path of an empty graph")
-    # Start at the node whose suffix weight is maximal.
+    index = graph.index()
+    suffix = _suffix_array(graph, include_messages)
+    ids = index.ids
+    # Start at the input node whose suffix weight is maximal.
     start = min(
-        (n for n in graph.node_ids() if not graph.predecessors(n)),
-        key=lambda n: (-suffix[n], n),
+        (i for i in range(index.n_nodes) if index.in_degree_of(i) == 0),
+        key=lambda i: (-suffix[i], ids[i]),
     )
-    path = [start]
+    path = [ids[start]]
     node = start
-    while graph.successors(node):
+    indptr, succ, succ_edges = index.succ_indptr, index.succ_ids, index.succ_edges
+    messages = index.edge_messages
+    while indptr[node] != indptr[node + 1]:
         candidates = []
-        for s in graph.successors(node):
-            arc = graph.message(node, s).size if include_messages else 0.0
-            candidates.append((-(arc + suffix[s]), s))
+        for k in range(indptr[node], indptr[node + 1]):
+            s = succ[k]
+            arc = messages[succ_edges[k]].size if include_messages else 0.0
+            candidates.append((-(arc + suffix[s]), ids[s], s))
         # Follow the successor continuing the heaviest suffix.
-        _, node = min(candidates)
-        path.append(node)
+        _, __, node = min(candidates)
+        path.append(ids[node])
     return path
 
 
-def _longest_suffix(graph: TaskGraph, include_messages: bool) -> Dict[NodeId, Time]:
-    """For each node, the heaviest node-weight (+ optional arc-weight) sum of
-    any path starting at that node (inclusive of the node itself)."""
-    suffix: Dict[NodeId, Time] = {}
-    for n in reversed(graph.topological_order()):
-        wcet = graph.node(n).wcet
+def _suffix_array(graph: TaskGraph, include_messages: bool) -> List[Time]:
+    """Per dense node id, the heaviest node-weight (+ optional arc-weight)
+    sum of any path starting at that node (inclusive of the node itself)."""
+    index = graph.index()
+    suffix: List[Time] = [0.0] * index.n_nodes
+    indptr, succ, succ_edges = index.succ_indptr, index.succ_ids, index.succ_edges
+    messages = index.edge_messages
+    subtasks = index.subtasks
+    for i in reversed(index.topological_order()):
         best_tail = 0.0
-        for s in graph.successors(n):
-            arc = graph.message(n, s).size if include_messages else 0.0
-            tail = arc + suffix[s]
+        for k in range(indptr[i], indptr[i + 1]):
+            tail = suffix[succ[k]]
+            if include_messages:
+                tail += messages[succ_edges[k]].size
             if tail > best_tail:
                 best_tail = tail
-        suffix[n] = wcet + best_tail
+        suffix[i] = subtasks[i].wcet + best_tail
     return suffix
+
+
+def _longest_suffix(graph: TaskGraph, include_messages: bool) -> Dict[NodeId, Time]:
+    """Dict view of :func:`_suffix_array`, keyed by node id (kept for
+    callers and tests that address nodes by name)."""
+    suffix = _suffix_array(graph, include_messages)
+    return {n: suffix[i] for i, n in enumerate(graph.index().ids)}
 
 
 def average_parallelism(graph: TaskGraph) -> float:
@@ -88,22 +103,17 @@ def average_parallelism(graph: TaskGraph) -> float:
 
 def graph_depth(graph: TaskGraph) -> int:
     """Number of levels: node count of the longest path by hop count."""
-    depth: Dict[NodeId, int] = {}
-    for n in graph.topological_order():
-        preds = graph.predecessors(n)
-        depth[n] = 1 + max((depth[p] for p in preds), default=0)
-    if not depth:
+    if not len(graph):
         raise ValidationError("depth of an empty graph")
-    return max(depth.values())
+    return max(graph.index().depths())
 
 
 def level_of(graph: TaskGraph) -> Dict[NodeId, int]:
     """Level index (1-based) of each node: 1 + longest hop distance from
     any input subtask."""
-    depth: Dict[NodeId, int] = {}
-    for n in graph.topological_order():
-        depth[n] = 1 + max((depth[p] for p in graph.predecessors(n)), default=0)
-    return depth
+    index = graph.index()
+    depths = index.depths()
+    return {n: depths[i] for i, n in enumerate(index.ids)}
 
 
 def enumerate_paths(

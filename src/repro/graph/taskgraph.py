@@ -22,6 +22,7 @@ from repro.errors import (
     UnknownNodeError,
     ValidationError,
 )
+from repro.graph.indexed import GraphIndex
 from repro.graph.node import Message, Subtask
 from repro.types import EdgeId, NodeId, ProcessorId, Time
 
@@ -46,6 +47,18 @@ class TaskGraph:
         self._succ: Dict[NodeId, List[NodeId]] = {}
         self._pred: Dict[NodeId, List[NodeId]] = {}
         self._topo_cache: Optional[List[NodeId]] = None
+        self._index_cache: Optional[GraphIndex] = None
+
+    def _invalidate_caches(self) -> None:
+        """Drop every derived structure after a structural mutation.
+
+        Called by ``add_subtask`` and ``add_edge``; anything that caches a
+        compiled view of the graph (topological order, :class:`GraphIndex`
+        and the overlay caches hanging off it) must be dropped here, or a
+        mutation-after-query would silently corrupt downstream analyses.
+        """
+        self._topo_cache = None
+        self._index_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -74,7 +87,7 @@ class TaskGraph:
         self._nodes[node_id] = node
         self._succ[node_id] = []
         self._pred[node_id] = []
-        self._topo_cache = None
+        self._invalidate_caches()
         return node
 
     def add_edge(self, src: NodeId, dst: NodeId, message_size: Time = 0.0) -> Message:
@@ -100,7 +113,7 @@ class TaskGraph:
         self._messages[edge] = message
         self._succ[src].append(dst)
         self._pred[dst].append(src)
-        self._topo_cache = None
+        self._invalidate_caches()
         return message
 
     def _require(self, node_id: NodeId) -> None:
@@ -184,44 +197,31 @@ class TaskGraph:
     # ------------------------------------------------------------------
     # Order and reachability
     # ------------------------------------------------------------------
+    def index(self) -> GraphIndex:
+        """The compiled :class:`~repro.graph.indexed.GraphIndex` view.
+
+        Built on first access and cached until the next structural
+        mutation (``add_subtask`` / ``add_edge``); attribute mutation
+        (costs, anchors, pins, message sizes) does not invalidate it —
+        the index references the live node/message objects. Every
+        analysis layer (paths, expanded graph, schedulers) walks the
+        graph through this object.
+        """
+        if self._index_cache is None:
+            self._index_cache = GraphIndex(self)
+        return self._index_cache
+
     def topological_order(self) -> List[NodeId]:
         """Kahn topological order; raises :class:`CycleError` on cycles.
 
-        The order is deterministic: among simultaneously ready nodes,
-        insertion order is preserved.
+        Deterministic contract (unified across every layer, including the
+        expanded graph's order over its own nodes): among simultaneously
+        ready nodes, insertion order is preserved.
         """
-        if self._topo_cache is not None:
-            return list(self._topo_cache)
-        in_deg = {n: len(self._pred[n]) for n in self._nodes}
-        ready = [n for n in self._nodes if in_deg[n] == 0]
-        order: List[NodeId] = []
-        head = 0
-        while head < len(ready):
-            n = ready[head]
-            head += 1
-            order.append(n)
-            for s in self._succ[n]:
-                in_deg[s] -= 1
-                if in_deg[s] == 0:
-                    ready.append(s)
-        if len(order) != len(self._nodes):
-            self._raise_cycle(in_deg)
-        self._topo_cache = order
-        return list(order)
-
-    def _raise_cycle(self, in_deg: Dict[NodeId, int]) -> None:
-        """Find one concrete cycle among the nodes with residual in-degree."""
-        remaining = {n for n, d in in_deg.items() if d > 0}
-        start = next(iter(sorted(remaining)))
-        path: List[NodeId] = []
-        seen: Dict[NodeId, int] = {}
-        n = start
-        while n not in seen:
-            seen[n] = len(path)
-            path.append(n)
-            n = next(s for s in self._succ[n] if s in remaining)
-        cycle = path[seen[n]:] + [n]
-        raise CycleError(cycle)
+        if self._topo_cache is None:
+            index = self.index()
+            self._topo_cache = [index.ids[i] for i in index.topological_order()]
+        return list(self._topo_cache)
 
     def is_acyclic(self) -> bool:
         try:

@@ -29,7 +29,7 @@ acts through the priority order and through the lateness measurement.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.annotations import DeadlineAssignment
 from repro.core.pinning import validate_pins
@@ -39,7 +39,7 @@ from repro.machine.system import System
 from repro.sched.bus import LinkTimelines
 from repro.sched.policies import EarliestDeadlineFirst, SelectionPolicy
 from repro.sched.schedule import Schedule, ScheduledMessage, ScheduledTask
-from repro.types import NodeId, ProcessorId, Time
+from repro.types import ProcessorId, Time
 
 
 class ListScheduler:
@@ -64,7 +64,9 @@ class ListScheduler:
         the EDF priorities and, optionally, release times).
         """
         validate_pins(graph, self.system.n_processors)
-        for node_id in graph.node_ids():
+        index = graph.index()
+        ids = index.ids
+        for node_id in ids:
             if node_id not in assignment.windows:
                 raise SchedulingError(
                     f"deadline assignment misses subtask {node_id!r}; "
@@ -74,21 +76,31 @@ class ListScheduler:
         schedule = Schedule(graph, self.system)
         links = LinkTimelines(self.system.interconnect)
         proc_available: List[Time] = [0.0] * self.system.n_processors
-        pending_preds: Dict[NodeId, int] = {
-            n: graph.in_degree(n) for n in graph.node_ids()
-        }
-        ready: Set[NodeId] = {n for n, k in pending_preds.items() if k == 0}
+        # Per dense node id: finish time and processor of placed subtasks
+        # (mirrors the Schedule, saving the per-query dict hops in the
+        # probe/commit inner loops).
+        finish_of: List[Time] = [0.0] * index.n_nodes
+        proc_of: List[ProcessorId] = [-1] * index.n_nodes
+        pending_preds: List[int] = [
+            index.in_degree_of(j) for j in range(index.n_nodes)
+        ]
+        ready: Set[int] = {j for j, k in enumerate(pending_preds) if k == 0}
+        policy_key = self.policy.key
 
         while ready:
-            node_id = min(
-                ready, key=lambda n: (self.policy.key(n, graph, assignment), n)
+            # Highest priority first; ties broken by node id, as before
+            # the indexed rewrite (string order, not insertion order).
+            j = min(ready, key=lambda j: (policy_key(ids[j], graph, assignment), ids[j]))
+            ready.discard(j)
+            self._place(
+                j, graph, index, assignment, schedule, links,
+                proc_available, finish_of, proc_of,
             )
-            ready.discard(node_id)
-            self._place(node_id, graph, assignment, schedule, links, proc_available)
-            for succ in graph.successors(node_id):
-                pending_preds[succ] -= 1
-                if pending_preds[succ] == 0:
-                    ready.add(succ)
+            for k in range(index.succ_indptr[j], index.succ_indptr[j + 1]):
+                s = index.succ_ids[k]
+                pending_preds[s] -= 1
+                if pending_preds[s] == 0:
+                    ready.add(s)
 
         if len(schedule.tasks) != graph.n_subtasks:
             raise SchedulingError(
@@ -100,14 +112,19 @@ class ListScheduler:
     # ------------------------------------------------------------------
     def _place(
         self,
-        node_id: NodeId,
+        j: int,
         graph: TaskGraph,
+        index,
         assignment: DeadlineAssignment,
         schedule: Schedule,
         links: LinkTimelines,
         proc_available: List[Time],
+        finish_of: List[Time],
+        proc_of: List[ProcessorId],
     ) -> None:
-        sub = graph.node(node_id)
+        ids = index.ids
+        node_id = ids[j]
+        sub = index.subtasks[j]
         if sub.is_pinned:
             candidates: List[ProcessorId] = [sub.pinned_to]  # type: ignore[list-item]
         else:
@@ -116,10 +133,17 @@ class ListScheduler:
         floor = (
             assignment.release(node_id) if self.respect_release_times else 0.0
         )
+        # Incoming arcs as (pred dense id, message size) pairs, in
+        # adjacency order.
+        messages = index.edge_messages
+        incoming = [
+            (index.pred_ids[k], messages[index.pred_edges[k]].size)
+            for k in range(index.pred_indptr[j], index.pred_indptr[j + 1])
+        ]
         best: Optional[Tuple[Time, ProcessorId]] = None
         for proc in candidates:
             start = self._probe_start(
-                node_id, proc, graph, schedule, links, proc_available, floor
+                proc, incoming, links, proc_available, floor, finish_of, proc_of
             )
             if best is None or (start, proc) < best:
                 best = (start, proc)
@@ -127,20 +151,16 @@ class ListScheduler:
         _, proc = best
 
         arrivals = [floor, proc_available[proc]]
-        for pred in sorted(
-            graph.predecessors(node_id),
-            key=lambda p: (schedule.finish_time(p), p),
-        ):
-            finish = schedule.finish_time(pred)
-            pred_proc = schedule.processor_of(pred)
-            size = graph.message(pred, node_id).size
+        for p, size in sorted(incoming, key=lambda it: (finish_of[it[0]], ids[it[0]])):
+            finish = finish_of[p]
+            pred_proc = proc_of[p]
             if pred_proc == proc or size <= 0:
                 arrivals.append(finish)
                 continue
             hops = links.commit_transfer(pred_proc, proc, size, finish)
             schedule.place_message(
                 ScheduledMessage(
-                    src=pred,
+                    src=ids[p],
                     dst=node_id,
                     src_processor=pred_proc,
                     dst_processor=proc,
@@ -156,16 +176,18 @@ class ListScheduler:
             ScheduledTask(node_id=node_id, processor=proc, start=start, finish=finish)
         )
         proc_available[proc] = finish
+        finish_of[j] = finish
+        proc_of[j] = proc
 
     def _probe_start(
         self,
-        node_id: NodeId,
         proc: ProcessorId,
-        graph: TaskGraph,
-        schedule: Schedule,
+        incoming: List[Tuple[int, Time]],
         links: LinkTimelines,
         proc_available: List[Time],
         floor: Time,
+        finish_of: List[Time],
+        proc_of: List[ProcessorId],
     ) -> Time:
         """Estimated earliest start on ``proc`` without reserving links.
 
@@ -174,10 +196,9 @@ class ListScheduler:
         path serializes them, so the schedule stays consistent either way.
         """
         start = max(floor, proc_available[proc])
-        for pred in graph.predecessors(node_id):
-            finish = schedule.finish_time(pred)
-            pred_proc = schedule.processor_of(pred)
-            size = graph.message(pred, node_id).size
+        for p, size in incoming:
+            finish = finish_of[p]
+            pred_proc = proc_of[p]
             if pred_proc == proc or size <= 0:
                 arrival = finish
             else:

@@ -95,24 +95,35 @@ class BranchAndBoundScheduler:
         validate_pins(graph, self.system.n_processors)
         self._graph = graph
         self._assignment = assignment
-        self._deadline = {
-            n: assignment.absolute_deadline(n) for n in graph.node_ids()
-        }
-        self._wcet = {n: graph.node(n).wcet for n in graph.node_ids()}
+        # Search state lives on dense ids from the graph's compiled index;
+        # only incumbents and the replayed schedule speak node-id strings.
+        index = graph.index()
+        self._index = index
+        n = index.n_nodes
+        ids = index.ids
+        self._deadline: List[Time] = [
+            assignment.absolute_deadline(node_id) for node_id in ids
+        ]
+        self._wcet: List[Time] = index.wcet_array()
+        self._topo: List[int] = index.topological_order()
         self._explored = 0
         self._budget_exhausted = False
 
         incumbent = ListScheduler(self.system).schedule(graph, assignment)
         self._best_lateness = self._lateness_of(incumbent)
-        self._best_choices: Optional[List[Tuple[NodeId, ProcessorId]]] = None
+        self._best_choices: Optional[List[Tuple[int, ProcessorId]]] = None
 
-        pending = {n: graph.in_degree(n) for n in graph.node_ids()}
-        ready = sorted(n for n, k in pending.items() if k == 0)
+        pending = [index.in_degree_of(j) for j in range(n)]
+        ready = sorted(
+            (j for j in range(n) if pending[j] == 0),
+            key=lambda j: ids[j],
+        )
         self._dfs(
             ready=ready,
             pending=pending,
-            finish={},
-            placement={},
+            finish=[0.0] * n,
+            placed=bytearray(n),
+            placement=[-1] * n,
             proc_avail=[0.0] * self.system.n_processors,
             current_lateness=float("-inf"),
             choices=[],
@@ -131,60 +142,74 @@ class BranchAndBoundScheduler:
 
     # ------------------------------------------------------------------
     def _lateness_of(self, schedule: Schedule) -> Time:
+        ids = self._index.ids
         return max(
-            schedule.finish_time(n) - self._deadline[n]
-            for n in self._graph.node_ids()
+            schedule.finish_time(ids[j]) - self._deadline[j]
+            for j in range(self._index.n_nodes)
         )
 
     def _start_time(
         self,
-        node_id: NodeId,
+        j: int,
         proc: ProcessorId,
-        finish: Dict[NodeId, Time],
-        placement: Dict[NodeId, ProcessorId],
+        finish: List[Time],
+        placement: List[ProcessorId],
         proc_avail: List[Time],
     ) -> Time:
+        index = self._index
+        messages = index.edge_messages
+        hop_cost = self.system.interconnect.hop_cost
         start = proc_avail[proc]
-        for pred in self._graph.predecessors(node_id):
-            arrival = finish[pred]
-            size = self._graph.message(pred, node_id).size
-            if placement[pred] != proc and size > 0:
-                arrival += self.system.interconnect.hop_cost(size)
-            start = max(start, arrival)
+        for k in range(index.pred_indptr[j], index.pred_indptr[j + 1]):
+            p = index.pred_ids[k]
+            arrival = finish[p]
+            size = messages[index.pred_edges[k]].size
+            if placement[p] != proc and size > 0:
+                arrival += hop_cost(size)
+            if arrival > start:
+                start = arrival
         return start
 
     def _completion_bound(
         self,
-        pending: Dict[NodeId, int],
-        finish: Dict[NodeId, Time],
+        placed: bytearray,
+        finish: List[Time],
     ) -> Time:
         """Admissible lateness bound for the unscheduled remainder.
 
         Contention-free, communication-free earliest finishes propagated
         from the already-fixed frontier — no placement can beat them.
         """
+        index = self._index
+        indptr, pred = index.pred_indptr, index.pred_ids
+        deadline, wcet = self._deadline, self._wcet
         bound = float("-inf")
-        est: Dict[NodeId, Time] = {}
-        for node_id in self._graph.topological_order():
-            if node_id in finish:
-                est[node_id] = finish[node_id]
+        est: List[Time] = [0.0] * index.n_nodes
+        for j in self._topo:
+            if placed[j]:
+                est[j] = finish[j]
                 continue
             earliest = 0.0
-            for pred in self._graph.predecessors(node_id):
-                earliest = max(earliest, est[pred])
-            est[node_id] = earliest + self._wcet[node_id]
-            bound = max(bound, est[node_id] - self._deadline[node_id])
+            for k in range(indptr[j], indptr[j + 1]):
+                e = est[pred[k]]
+                if e > earliest:
+                    earliest = e
+            est[j] = earliest = earliest + wcet[j]
+            lateness = earliest - deadline[j]
+            if lateness > bound:
+                bound = lateness
         return bound
 
     def _dfs(
         self,
-        ready: List[NodeId],
-        pending: Dict[NodeId, int],
-        finish: Dict[NodeId, Time],
-        placement: Dict[NodeId, ProcessorId],
+        ready: List[int],
+        pending: List[int],
+        finish: List[Time],
+        placed: bytearray,
+        placement: List[ProcessorId],
         proc_avail: List[Time],
         current_lateness: Time,
-        choices: List[Tuple[NodeId, ProcessorId]],
+        choices: List[Tuple[int, ProcessorId]],
     ) -> None:
         if self._budget_exhausted:
             return
@@ -200,56 +225,54 @@ class BranchAndBoundScheduler:
         if current_lateness >= self._best_lateness - EPS:
             return
         if (
-            max(current_lateness, self._completion_bound(pending, finish))
+            max(current_lateness, self._completion_bound(placed, finish))
             >= self._best_lateness - EPS
         ):
             return
 
-        # Branch on ready subtasks in deadline order (incumbents early).
-        for node_id in sorted(
-            ready, key=lambda n: (self._deadline[n], n)
-        ):
-            node = self._graph.node(node_id)
+        index = self._index
+        ids = index.ids
+        deadline = self._deadline
+        # Branch on ready subtasks in deadline order (incumbents early);
+        # deadline ties break on node id, as before the indexed rewrite.
+        for j in sorted(ready, key=lambda j: (deadline[j], ids[j])):
+            node = index.subtasks[j]
             if node.is_pinned:
                 candidates = [node.pinned_to]
             else:
                 candidates = self._distinct_processors(proc_avail)
             for proc in candidates:
-                start = self._start_time(
-                    node_id, proc, finish, placement, proc_avail
-                )
+                start = self._start_time(j, proc, finish, placement, proc_avail)
                 end = start + self.system.execution_time(proc, node.wcet)
-                lateness = max(
-                    current_lateness, end - self._deadline[node_id]
-                )
+                lateness = max(current_lateness, end - deadline[j])
                 if lateness >= self._best_lateness - EPS:
                     continue
                 # Apply.
-                finish[node_id] = end
-                placement[node_id] = proc
+                finish[j] = end
+                placed[j] = 1
+                placement[j] = proc
                 saved_avail = proc_avail[proc]
                 proc_avail[proc] = end
-                next_ready = [n for n in ready if n != node_id]
-                unlocked = []
-                for succ in self._graph.successors(node_id):
-                    pending[succ] -= 1
-                    if pending[succ] == 0:
-                        unlocked.append(succ)
-                next_ready.extend(unlocked)
-                choices.append((node_id, proc))
+                next_ready = [r for r in ready if r != j]
+                for k in range(index.succ_indptr[j], index.succ_indptr[j + 1]):
+                    s = index.succ_ids[k]
+                    pending[s] -= 1
+                    if pending[s] == 0:
+                        next_ready.append(s)
+                choices.append((j, proc))
 
                 self._dfs(
-                    next_ready, pending, finish, placement,
+                    next_ready, pending, finish, placed, placement,
                     proc_avail, lateness, choices,
                 )
 
                 # Undo.
                 choices.pop()
-                for succ in self._graph.successors(node_id):
-                    pending[succ] += 1
+                for k in range(index.succ_indptr[j], index.succ_indptr[j + 1]):
+                    pending[index.succ_ids[k]] += 1
                 proc_avail[proc] = saved_avail
-                del placement[node_id]
-                del finish[node_id]
+                placement[j] = -1
+                placed[j] = 0
 
     def _distinct_processors(self, proc_avail: List[Time]) -> List[ProcessorId]:
         """Symmetry breaking: identical-speed processors with identical
@@ -265,50 +288,50 @@ class BranchAndBoundScheduler:
         return out
 
     def _replay(
-        self, choices: List[Tuple[NodeId, ProcessorId]]
+        self, choices: List[Tuple[int, ProcessorId]]
     ) -> Schedule:
         """Materialize the winning decision sequence as a Schedule."""
+        index = self._index
+        ids = index.ids
+        messages = index.edge_messages
         schedule = Schedule(self._graph, self.system)
-        finish: Dict[NodeId, Time] = {}
-        placement: Dict[NodeId, ProcessorId] = {}
+        finish: List[Time] = [0.0] * index.n_nodes
+        placement: List[ProcessorId] = [-1] * index.n_nodes
         proc_avail = [0.0] * self.system.n_processors
-        for node_id, proc in choices:
-            start = self._start_time(
-                node_id, proc, finish, placement, proc_avail
-            )
-            for pred in self._graph.predecessors(node_id):
-                size = self._graph.message(pred, node_id).size
-                if placement[pred] != proc and size > 0:
+        for j, proc in choices:
+            start = self._start_time(j, proc, finish, placement, proc_avail)
+            for k in range(index.pred_indptr[j], index.pred_indptr[j + 1]):
+                p = index.pred_ids[k]
+                size = messages[index.pred_edges[k]].size
+                if placement[p] != proc and size > 0:
                     cost = self.system.interconnect.hop_cost(size)
-                    link = self.system.interconnect.route(
-                        placement[pred], proc
-                    )[0]
+                    link = self.system.interconnect.route(placement[p], proc)[0]
                     schedule.place_message(
                         ScheduledMessage(
-                            src=pred,
-                            dst=node_id,
-                            src_processor=placement[pred],
+                            src=ids[p],
+                            dst=ids[j],
+                            src_processor=placement[p],
                             dst_processor=proc,
                             size=size,
                             hops=(
                                 HopReservation(
                                     link=link,
-                                    start=finish[pred],
-                                    finish=finish[pred] + cost,
+                                    start=finish[p],
+                                    finish=finish[p] + cost,
                                 ),
                             ),
                         )
                     )
             end = start + self.system.execution_time(
-                proc, self._graph.node(node_id).wcet
+                proc, index.subtasks[j].wcet
             )
             schedule.place_task(
                 ScheduledTask(
-                    node_id=node_id, processor=proc, start=start, finish=end
+                    node_id=ids[j], processor=proc, start=start, finish=end
                 )
             )
-            finish[node_id] = end
-            placement[node_id] = proc
+            finish[j] = end
+            placement[j] = proc
             proc_avail[proc] = end
         schedule.validate()
         return schedule

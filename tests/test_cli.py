@@ -96,6 +96,18 @@ class TestCommands:
         assert main(base + ["--jobs", "2", "--csv", str(parallel_csv)]) == 0
         assert serial_csv.read_text() == parallel_csv.read_text()
 
+    def test_run_profile(self, capsys):
+        """--profile prints per-phase wall-clock timers."""
+        code = main([
+            "run", "figure5", "--graphs", "1", "--sizes", "2",
+            "--jobs", "1", "--quiet", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase profile (figure5)" in out
+        for phase in ("generate", "distribute", "schedule", "total"):
+            assert phase in out
+
     def test_run_multi_config_experiment(self, capsys):
         code = main([
             "run", "ablation-release", "--graphs", "1", "--sizes", "2",

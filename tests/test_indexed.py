@@ -1,0 +1,214 @@
+"""GraphIndex: the compiled graph core and its cache contracts."""
+
+import pytest
+
+from repro.core.commcost import CCAA, CCNE, Oracle, Scaled
+from repro.core.expanded import ExpandedGraph
+from repro.errors import CycleError
+from repro.graph.indexed import GraphIndex
+from repro.graph.taskgraph import TaskGraph
+
+
+def diamond() -> TaskGraph:
+    """Nodes inserted in deliberately non-sorted order."""
+    g = TaskGraph()
+    g.add_subtask("z", wcet=5, release=0.0)
+    g.add_subtask("b", wcet=10)
+    g.add_subtask("a", wcet=10)
+    g.add_subtask("m", wcet=5, end_to_end_deadline=100.0)
+    g.add_edge("z", "b", message_size=4)
+    g.add_edge("z", "a", message_size=4)
+    g.add_edge("b", "m", message_size=4)
+    g.add_edge("a", "m", message_size=4)
+    return g
+
+
+class TestStructure:
+    def test_dense_ids_follow_insertion_order(self):
+        index = diamond().index()
+        assert index.ids == ["z", "b", "a", "m"]
+        assert index.id_of == {"z": 0, "b": 1, "a": 2, "m": 3}
+
+    def test_csr_adjacency_preserves_edge_insertion_order(self):
+        index = diamond().index()
+        assert index.successors_of(0) == [1, 2]  # z -> b before z -> a
+        assert index.predecessors_of(3) == [1, 2]
+        assert index.in_degree_of(0) == 0
+        assert index.out_degree_of(3) == 0
+
+    def test_message_between(self):
+        index = diamond().index()
+        assert index.message_between(0, 1).size == 4
+        with pytest.raises(KeyError):
+            index.message_between(0, 3)
+
+    def test_depths(self):
+        assert diamond().index().depths() == [1, 2, 2, 3]
+
+    def test_cycle_reported_in_node_ids(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1)
+        g.add_subtask("b", wcet=1)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(CycleError):
+            g.index().topological_order()
+
+
+class TestTopoDeterminismContract:
+    """One tie-break rule everywhere: insertion order among ready nodes.
+
+    Before the indexed core, ``TaskGraph.topological_order`` broke ties in
+    insertion order while ``ExpandedGraph`` sorted the initially-ready
+    nodes lexicographically; the unified contract pins both to insertion
+    order (task nodes in graph insertion order, comm nodes in message
+    insertion order)."""
+
+    def test_taskgraph_ties_break_in_insertion_order(self):
+        g = TaskGraph()
+        g.add_subtask("c", wcet=1, release=0.0)
+        g.add_subtask("a", wcet=1, release=0.0)
+        g.add_subtask("b", wcet=1, end_to_end_deadline=10.0)
+        g.add_edge("c", "b")
+        g.add_edge("a", "b")
+        assert g.topological_order() == ["c", "a", "b"]
+
+    def test_expanded_graph_follows_the_same_contract(self):
+        g = diamond()
+        expanded = ExpandedGraph(g, CCNE())
+        # CCNE estimates zero cost everywhere: the expansion is the graph
+        # itself, so the orders must agree exactly.
+        assert expanded.topological_order() == g.topological_order()
+
+    def test_expanded_graph_comm_nodes_in_message_order(self):
+        g = diamond()
+        order = ExpandedGraph(g, CCAA()).topological_order()
+        tasks_only = [eid for eid in order if not eid.startswith("chi(")]
+        assert tasks_only == g.topological_order()
+        # Simultaneously-ready comm nodes follow message insertion order.
+        assert order.index("chi(z->b)") < order.index("chi(z->a)")
+
+    def test_index_topo_matches_graph_topo(self):
+        g = diamond()
+        index = g.index()
+        assert [index.ids[i] for i in index.topological_order()] == (
+            g.topological_order()
+        )
+
+
+class TestStructuralInvalidation:
+    """Mutation-after-query must rebuild every derived structure."""
+
+    def test_topo_cache_invalidated_by_add_subtask_and_add_edge(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=1, release=0.0)
+        assert g.topological_order() == ["a"]
+        g.add_subtask("b", wcet=1, end_to_end_deadline=10.0)
+        assert g.topological_order() == ["a", "b"]
+        g.add_edge("b", "a")
+        assert g.topological_order() == ["b", "a"]
+
+    def test_index_rebuilt_after_structural_mutation(self):
+        g = diamond()
+        first = g.index()
+        assert g.index() is first  # cached while untouched
+        g.add_subtask("t", wcet=1, end_to_end_deadline=50.0)
+        second = g.index()
+        assert second is not first
+        assert second.n_nodes == 5
+        g.add_edge("m", "t")
+        third = g.index()
+        assert third is not second
+        assert third.n_edges == 5
+
+    def test_copy_does_not_share_the_index(self):
+        g = diamond()
+        index = g.index()
+        clone = g.copy()
+        assert clone.index() is not index
+        clone.add_subtask("extra", wcet=1, end_to_end_deadline=9.0)
+        assert g.index() is index  # the original is unaffected
+
+
+class TestExpansionCache:
+    def test_expansion_shared_across_calls(self):
+        g = diamond()
+        e1 = ExpandedGraph.for_graph(g, CCAA())
+        e2 = ExpandedGraph.for_graph(g, CCAA())
+        assert e1 is e2
+
+    def test_distinct_estimators_get_distinct_expansions(self):
+        g = diamond()
+        assert ExpandedGraph.for_graph(g, CCNE()) is not (
+            ExpandedGraph.for_graph(g, CCAA())
+        )
+        assert ExpandedGraph.for_graph(g, CCAA()) is not (
+            ExpandedGraph.for_graph(g, CCAA(cost_per_item=2.0))
+        )
+
+    def test_attribute_mutation_invalidates_via_fingerprint(self):
+        g = diamond()
+        e1 = ExpandedGraph.for_graph(g, CCAA())
+        g.node("a").wcet = 99.0
+        e2 = ExpandedGraph.for_graph(g, CCAA())
+        assert e2 is not e1
+        assert e2.nodes["a"].cost == 99.0
+
+    def test_pin_mutation_invalidates_via_fingerprint(self):
+        g = diamond()
+        e1 = ExpandedGraph.for_graph(g, CCAA())
+        # Pinning both endpoints to one processor turns the arc cost to 0,
+        # which changes the expansion's structure.
+        g.node("z").pinned_to = 0
+        g.node("b").pinned_to = 0
+        e2 = ExpandedGraph.for_graph(g, CCAA())
+        assert e2 is not e1
+        assert "chi(z->b)" in e1.nodes
+        assert "chi(z->b)" not in e2.nodes
+
+    def test_structural_mutation_drops_the_expansion_cache(self):
+        g = diamond()
+        e1 = ExpandedGraph.for_graph(g, CCAA())
+        g.add_subtask("t", wcet=1, end_to_end_deadline=50.0)
+        e2 = ExpandedGraph.for_graph(g, CCAA())
+        assert e2 is not e1
+        assert "t" in e2.nodes
+
+    def test_stateful_estimators_are_never_cached(self):
+        g = diamond()
+        oracle = Oracle({"z": 0, "b": 0, "a": 1, "m": 1})
+        assert oracle.cache_key() is None
+        assert ExpandedGraph.for_graph(g, oracle) is not (
+            ExpandedGraph.for_graph(g, oracle)
+        )
+
+    def test_scaled_cache_key_distinguishes_factor(self):
+        assert Scaled(0.5).cache_key() != Scaled(0.25).cache_key()
+        assert Scaled(0.5).cache_key() == Scaled(0.5).cache_key()
+
+
+class TestValueSnapshots:
+    def test_snapshots_read_live_attributes(self):
+        g = diamond()
+        index = g.index()
+        assert index.wcet_array() == [5, 10, 10, 5]
+        g.node("z").wcet = 7
+        assert index.wcet_array() == [7, 10, 10, 5]
+
+    def test_fingerprint_tracks_each_mutable_attribute(self):
+        g = diamond()
+        index = g.index()
+        base = index.value_fingerprint()
+        g.node("z").wcet = 7
+        changed = index.value_fingerprint()
+        assert changed != base
+        g.node("z").wcet = 5
+        assert index.value_fingerprint() == base
+        g.message("z", "b").size = 40
+        assert index.value_fingerprint() != base
+
+
+def test_graph_index_exported():
+    import repro.graph
+
+    assert repro.graph.GraphIndex is GraphIndex

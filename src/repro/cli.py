@@ -95,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for trial execution "
         "(default: all CPU cores; 1 = serial)",
     )
+    run.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per trial; slow trials degrade "
+        "gracefully and hung workers are killed and retried",
+    )
+    run.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="times a failed trial chunk is retried before quarantine "
+        "(default: the experiment's, normally 2)",
+    )
+    run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed work to PATH; pass --resume to continue "
+        "an interrupted sweep from it",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="allow --checkpoint to reuse an existing journal "
+        "(without it, an existing checkpoint file is an error)",
+    )
     run.add_argument("--csv", default=None, help="write raw trials as CSV")
     run.add_argument(
         "--save", default=None,
@@ -171,7 +191,45 @@ def _phase_profile(name: str, instrumentation) -> str:
     return "\n".join(lines)
 
 
+def _suffixed_path(path: str, name: str) -> str:
+    """Derive a per-config variant of ``path`` (multi-config runs)."""
+    stem, dot, ext = path.rpartition(".")
+    return f"{stem}-{name}.{ext}" if dot else f"{path}-{name}"
+
+
+def _fault_summary(result) -> Optional[str]:
+    """One-paragraph account of what the run survived, if anything."""
+    lines = []
+    if result.fallback_reason:
+        lines.append(f"  degraded: {result.fallback_reason}")
+    fatal = [f for f in result.failures if f.kind != "slow-trial"]
+    slow = len(result.failures) - len(fatal)
+    if fatal:
+        lines.append(
+            f"  survived {len(fatal)} fault event(s): " + "; ".join(
+                f"{f.kind} at ({f.scenario}, graph {f.index})"
+                for f in fatal[:5]
+            ) + (" ..." if len(fatal) > 5 else "")
+        )
+    if slow:
+        lines.append(f"  {slow} trial(s) overran their budget (results kept)")
+    if result.quarantined:
+        chunks = ", ".join(
+            f"({s}, graph {i})" for s, i in result.quarantined
+        )
+        lines.append(
+            f"  QUARANTINED {len(result.quarantined)} chunk(s): {chunks} — "
+            "their trials are missing from the records"
+        )
+    if not lines:
+        return None
+    return "fault report:\n" + "\n".join(lines)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
     kwargs = {}
     if args.graphs is not None:
         kwargs["n_graphs"] = args.graphs
@@ -180,10 +238,34 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     configs = build_experiment(args.experiment, **kwargs)
+    overrides = {}
+    if args.trial_timeout is not None:
+        overrides["trial_timeout"] = args.trial_timeout
+    if args.retries is not None:
+        overrides["max_retries"] = args.retries
+    if overrides:
+        configs = [dataclasses.replace(c, **overrides) for c in configs]
 
     from repro.feast.parallel import resolve_jobs
 
     jobs = resolve_jobs(args.jobs)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    checkpoints = {}
+    if args.checkpoint:
+        for config in configs:
+            path = args.checkpoint
+            if len(configs) > 1:
+                path = _suffixed_path(path, config.name)
+            if os.path.exists(path) and not args.resume:
+                print(
+                    f"error: checkpoint {path!r} already exists; pass "
+                    "--resume to continue it or delete it to start over",
+                    file=sys.stderr,
+                )
+                return 2
+            checkpoints[config.name] = path
     csv_chunks: List[str] = []
     results = []
     for config in configs:
@@ -205,9 +287,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = run_experiment(
             config, progress=progress, jobs=jobs,
             instrumentation=instrumentation,
+            checkpoint=checkpoints.get(config.name),
         )
         print(lateness_report(result))
         print()
+        summary = _fault_summary(result)
+        if summary is not None:
+            print(summary)
+            print()
         if instrumentation is not None:
             print(_phase_profile(config.name, instrumentation))
             print()
@@ -222,11 +309,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
             path = args.save
             if len(configs) > 1:
-                stem, dot, ext = path.rpartition(".")
-                path = (
-                    f"{stem}-{config.name}.{ext}" if dot else
-                    f"{path}-{config.name}"
-                )
+                path = _suffixed_path(path, config.name)
             save_result(result, path)
             print(f"saved {path}")
         csv_chunks.append(to_csv(result))

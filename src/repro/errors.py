@@ -68,5 +68,47 @@ class ExperimentError(ReproError):
     """An experiment configuration is inconsistent or a run failed."""
 
 
+class TrialTimeoutError(ExperimentError):
+    """A trial exceeded its wall-clock budget.
+
+    Raised cooperatively (see :mod:`repro.budget`) by components that
+    poll the current trial deadline, and used by the experiment engine to
+    label chunks it had to kill from the outside.
+    """
+
+
+class WorkerCrashError(ExperimentError):
+    """A worker process died (killed, crashed, or its pool broke)."""
+
+
+class QuarantinedTrialError(ExperimentError):
+    """A trial chunk was quarantined after repeated failures.
+
+    The engine records quarantines in
+    :attr:`~repro.feast.runner.ExperimentResult.quarantined` and keeps
+    going; :meth:`~repro.feast.runner.ExperimentResult.check` raises this
+    for callers that need an all-or-nothing run.
+    """
+
+
+class CheckpointError(ExperimentError):
+    """A sweep checkpoint journal is unusable.
+
+    Raised when the journal is corrupt, unreadable, or was written by a
+    different experiment configuration than the one being resumed.
+    """
+
+
+class ExperimentWarning(ReproError, UserWarning):
+    """Non-fatal experiment-engine condition worth surfacing.
+
+    Emitted via :func:`warnings.warn` when the engine degrades instead of
+    failing: silent serial fallback for unpicklable configs, process-pool
+    respawns, or degradation to in-process execution. Derives from
+    :class:`ReproError` so ``-W error::repro.errors.ExperimentWarning``
+    and blanket ``ReproError`` handling both work.
+    """
+
+
 class SerializationError(ReproError):
     """A graph or result could not be encoded/decoded."""

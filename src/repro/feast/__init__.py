@@ -22,15 +22,19 @@ from repro.feast.instrumentation import (
     Instrumentation,
     PhaseTimings,
     ProgressFn,
+    TrialFailure,
 )
 from repro.feast.parallel import (
+    RetryPolicy,
     TrialSpec,
     default_jobs,
     run_parallel_experiment,
 )
 from repro.feast.persistence import (
+    CheckpointJournal,
     SeriesDelta,
     compare,
+    config_fingerprint,
     load_result,
     result_from_dict,
     result_to_dict,
@@ -84,6 +88,10 @@ __all__ = [
     "run_parallel_experiment",
     "default_jobs",
     "TrialSpec",
+    "RetryPolicy",
+    "TrialFailure",
+    "CheckpointJournal",
+    "config_fingerprint",
     "Instrumentation",
     "PhaseTimings",
     "ProgressFn",

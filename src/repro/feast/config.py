@@ -155,10 +155,20 @@ class ExperimentConfig:
     #: return a validated TaskGraph. ``None`` uses the random generator.
     #: Used by the structured-graph and locality experiments.
     graph_factory: Optional[Callable] = None
+    #: Per-trial wall-clock budget in seconds (``None`` = unlimited).
+    #: Enforced cooperatively inside workers (see :mod:`repro.budget`)
+    #: and, for hard hangs, by the parent killing overdue chunks.
+    trial_timeout: Optional[float] = None
+    #: Times a failed trial chunk is retried before quarantine (a chunk
+    #: therefore gets at most ``max_retries + 1`` attempts).
+    max_retries: int = 2
 
     def __post_init__(self) -> None:
         if not self.methods:
-            raise ExperimentError(f"experiment {self.name!r} has no methods")
+            raise ExperimentError(
+                f"experiment {self.name!r}: methods must be a non-empty "
+                "tuple of MethodSpec, got ()"
+            )
         labels = [m.label for m in self.methods]
         if len(set(labels)) != len(labels):
             raise ExperimentError(
@@ -171,9 +181,15 @@ class ExperimentConfig:
                     f"{sorted(SCENARIOS)}"
                 )
         if self.n_graphs < 1:
-            raise ExperimentError("n_graphs must be >= 1")
-        if not self.system_sizes or min(self.system_sizes) < 1:
-            raise ExperimentError("system_sizes must be non-empty, all >= 1")
+            raise ExperimentError(
+                f"n_graphs must be >= 1, got {self.n_graphs}"
+            )
+        if not self.system_sizes:
+            raise ExperimentError("system_sizes must be a non-empty tuple")
+        if min(self.system_sizes) < 1:
+            raise ExperimentError(
+                f"system_sizes must all be >= 1, got {self.system_sizes}"
+            )
         if self.topology not in TOPOLOGIES:
             raise ExperimentError(
                 f"unknown topology {self.topology!r}; expected one of "
@@ -188,6 +204,15 @@ class ExperimentConfig:
             raise ExperimentError(
                 f"unknown speed profile {self.speed_profile!r}; expected "
                 f"one of {sorted(SPEED_PROFILES)}"
+            )
+        if self.trial_timeout is not None and not self.trial_timeout > 0:
+            raise ExperimentError(
+                f"trial_timeout must be positive when set, got "
+                f"{self.trial_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be >= 0, got {self.max_retries}"
             )
 
     def scaled(self, n_graphs: int) -> "ExperimentConfig":

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the experiment engine.
+
+The fault-tolerance layer (:mod:`repro.feast.parallel`) is only
+trustworthy if its failure paths are exercised on every push, and real
+worker crashes are not reproducible. This module injects them on demand:
+a :class:`FaultPlan` names which (scenario, graph-index, attempt)
+coordinates fail and how — ``crash`` (SIGKILL the worker), ``hang``
+(sleep past any trial budget), or ``error`` (raise) — and the engine's
+worker entry point calls :func:`maybe_inject` before running each chunk.
+
+Plans activate through an environment variable rather than module state
+so that worker processes see them under both the ``fork`` and ``spawn``
+start methods, and so a respawned pool inherits the active plan.
+Injection is fully deterministic: the same plan against the same config
+fails the same chunks on the same attempts, every run.
+
+Safety: ``crash`` specs never fire in the process that installed the
+plan (the parent records its pid at install time), so an engine that has
+degraded to in-process execution survives a crash-everything plan — the
+same way a real fleet-killing OOM cannot SIGKILL the coordinator.
+
+This is a test harness. Nothing here runs unless a plan is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+#: Environment variable carrying the active plan (JSON).
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+KINDS = ("crash", "hang", "error")
+
+
+class InjectedFaultError(ExperimentError):
+    """The exception an ``error`` fault spec raises inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault at (scenario, graph-index) coordinates.
+
+    ``attempts`` selects which execution attempts fire (0-based count of
+    the chunk's prior failures); ``None`` fires on *every* attempt —
+    i.e. a deterministic fault the engine must quarantine rather than
+    retry through.
+    """
+
+    scenario: str
+    index: int
+    kind: str
+    attempts: Optional[Tuple[int, ...]] = (0,)
+    #: ``hang`` only: how long the worker sleeps.
+    seconds: float = 60.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ExperimentError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+
+    def fires_on(self, attempt: int) -> bool:
+        return self.attempts is None or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of fault specs plus the installing (parent) pid."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    parent_pid: int = 0
+
+    def find(
+        self, scenario: str, index: int, attempt: int
+    ) -> Optional[FaultSpec]:
+        for spec in self.faults:
+            if (
+                spec.scenario == scenario
+                and spec.index == index
+                and spec.fires_on(attempt)
+            ):
+                return spec
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "parent_pid": self.parent_pid,
+                "faults": [
+                    {
+                        "scenario": s.scenario,
+                        "index": s.index,
+                        "kind": s.kind,
+                        "attempts": (
+                            None if s.attempts is None else list(s.attempts)
+                        ),
+                        "seconds": s.seconds,
+                        "message": s.message,
+                    }
+                    for s in self.faults
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            faults=tuple(
+                FaultSpec(
+                    scenario=f["scenario"],
+                    index=f["index"],
+                    kind=f["kind"],
+                    attempts=(
+                        None if f["attempts"] is None
+                        else tuple(f["attempts"])
+                    ),
+                    seconds=f["seconds"],
+                    message=f["message"],
+                )
+                for f in data["faults"]
+            ),
+            parent_pid=int(data.get("parent_pid", 0)),
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        scenarios: Tuple[str, ...],
+        n_graphs: int,
+        rate: float = 0.1,
+        kind: str = "error",
+        attempts: Optional[Tuple[int, ...]] = (0,),
+        seconds: float = 60.0,
+    ) -> "FaultPlan":
+        """A reproducible random plan: each (scenario, index) chunk fails
+        with probability ``rate``, drawn from ``random.Random(seed)``."""
+        rng = random.Random(seed)
+        faults = tuple(
+            FaultSpec(
+                scenario=scenario,
+                index=index,
+                kind=kind,
+                attempts=attempts,
+                seconds=seconds,
+                message=f"seeded fault ({seed})",
+            )
+            for scenario in scenarios
+            for index in range(n_graphs)
+            if rng.random() < rate
+        )
+        return cls(faults=faults)
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` for this process and all (future) workers."""
+    if plan.parent_pid == 0:
+        plan = FaultPlan(faults=plan.faults, parent_pid=os.getpid())
+    os.environ[ENV_VAR] = plan.to_json()
+
+
+def uninstall() -> None:
+    """Deactivate any installed plan."""
+    os.environ.pop(ENV_VAR, None)
+
+
+@contextmanager
+def active(plan: FaultPlan) -> Iterator[None]:
+    """Install ``plan`` for the duration of a block (tests use this)."""
+    install(plan)
+    try:
+        yield
+    finally:
+        uninstall()
+
+
+def maybe_inject(scenario: str, index: int, attempt: int) -> None:
+    """Fire the planned fault for these coordinates, if any.
+
+    Called by the engine's worker entry point before each chunk runs.
+    With no plan installed this is a single dict lookup.
+    """
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return
+    plan = FaultPlan.from_json(raw)
+    spec = plan.find(scenario, index, attempt)
+    if spec is None:
+        return
+    if spec.kind == "crash":
+        if os.getpid() == plan.parent_pid:
+            return  # never kill the coordinating process
+        sigkill = getattr(signal, "SIGKILL", None)
+        if sigkill is None:  # pragma: no cover — non-POSIX fallback
+            os._exit(173)
+        os.kill(os.getpid(), sigkill)
+        return  # pragma: no cover — unreachable
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)
+        return
+    raise InjectedFaultError(
+        f"{spec.message} [scenario={scenario} index={index}]"
+    )

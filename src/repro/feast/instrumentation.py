@@ -7,9 +7,12 @@ else. This module replaces that with a small, pluggable layer:
   trial phases (``generate`` the workload, ``distribute`` deadlines,
   ``schedule`` and measure). Plain picklable data, so worker processes
   can measure locally and ship their timings back to the parent.
+* :class:`TrialFailure` — one fault event (crash, timeout, exception,
+  quarantine) observed by the fault-tolerant engine; plain picklable
+  data shared by workers, results, and the checkpoint journal.
 * :class:`Instrumentation` — the parent-side collector: accumulates
-  timings, counts completed trials, and fans progress events out to any
-  number of registered callbacks.
+  timings, counts completed trials and fault events, and fans progress
+  events out to any number of registered callbacks.
 
 Progress from worker processes
 ------------------------------
@@ -37,6 +40,47 @@ ProgressFn = Callable[[int, int], None]
 
 #: The trial phases, in pipeline order.
 PHASES = ("generate", "distribute", "schedule")
+
+#: Fault-event kinds the engine records.
+FAILURE_KINDS = (
+    "crash",       # a worker process (or its pool) died
+    "timeout",     # the parent killed a chunk that overran its budget
+    "exception",   # the chunk raised inside a worker
+    "slow-trial",  # a trial finished but overran its cooperative budget
+    "quarantine",  # the chunk was given up on after repeated failures
+)
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One fault event of one (scenario, graph-index) trial chunk.
+
+    ``attempt`` is the 1-based count of failed attempts the chunk had
+    accumulated when the event was recorded (0 for non-fatal
+    ``slow-trial`` events, which do not consume an attempt).
+    """
+
+    scenario: str
+    index: int
+    kind: str
+    message: str
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ExperimentError(
+                f"unknown failure kind {self.kind!r}; expected one of "
+                f"{FAILURE_KINDS}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "index": self.index,
+            "kind": self.kind,
+            "message": self.message,
+            "attempt": self.attempt,
+        }
 
 
 @dataclass
@@ -82,6 +126,16 @@ class Instrumentation:
         self.timings = PhaseTimings()
         self.trials_completed = 0
         self.total_trials = 0
+        #: Fault events observed so far, in the order they happened.
+        self.failures: List[TrialFailure] = []
+        #: Chunk attempts resubmitted after a failure.
+        self.retries = 0
+        #: Chunks given up on after repeated failures.
+        self.quarantined = 0
+        #: Times the worker pool died and was respawned.
+        self.pool_respawns = 0
+        #: Trials replayed from a checkpoint journal instead of re-run.
+        self.replayed_trials = 0
         self._callbacks: List[ProgressFn] = []
         if progress is not None:
             self.add_progress(progress)
@@ -120,3 +174,24 @@ class Instrumentation:
         """Merge one worker chunk's timings and count its trials."""
         self.timings.merge(timings)
         self.completed(n_trials)
+
+    def replayed(self, timings: PhaseTimings, n_trials: int) -> None:
+        """Absorb a chunk replayed from a checkpoint journal."""
+        self.replayed_trials += n_trials
+        self.absorb(timings, n_trials)
+
+    def record_failure(self, failure: TrialFailure) -> None:
+        """Log one fault event (the engine calls this as faults happen)."""
+        self.failures.append(failure)
+
+    def retried(self) -> None:
+        """Count one chunk resubmission after a failure."""
+        self.retries += 1
+
+    def quarantine(self) -> None:
+        """Count one chunk quarantined after repeated failures."""
+        self.quarantined += 1
+
+    def pool_respawned(self) -> None:
+        """Count one worker-pool death + respawn."""
+        self.pool_respawns += 1

@@ -1,26 +1,75 @@
-"""Persistence of experiment results: JSON save/load and run comparison.
+"""Persistence of experiment results: JSON save/load, run comparison,
+and the sweep checkpoint journal.
 
 Full-scale experiments take minutes; their raw trial records are worth
-keeping. The on-disk format is a single JSON document with the config's
-identifying fields and one record object per trial, versioned so old runs
-stay readable. :func:`compare` diffs two runs of the same experiment —
-the regression-tracking primitive for "did my change move the curves?".
+keeping. The on-disk result format is a single JSON document with the
+config's identifying fields and one record object per trial, versioned
+so old runs stay readable. :func:`compare` diffs two runs of the same
+experiment — the regression-tracking primitive for "did my change move
+the curves?".
+
+Two crash-safety layers live here as well:
+
+* :func:`save_result` writes **atomically** — the document is serialized
+  in memory, written to a temp file in the destination directory,
+  fsynced, and ``os.replace``d into place, so an interrupt can never
+  leave a truncated or half-written JSON behind;
+* :class:`CheckpointJournal` is the append-only journal behind
+  ``run_experiment(..., checkpoint=path)``: the engine appends one line
+  per completed trial chunk (flushed and fsynced), and a resumed run
+  replays the journal and re-runs only the missing chunks. The header
+  pins a fingerprint of the record-determining config fields, so
+  resuming with a changed experiment raises :class:`CheckpointError`
+  instead of silently mixing incompatible records.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, IO, List, Optional, Tuple
 
-from repro.errors import SerializationError
+from repro.errors import CheckpointError, ExperimentWarning, SerializationError
 from repro.feast.aggregate import mean_max_lateness
 from repro.feast.config import ExperimentConfig, MethodSpec
-from repro.feast.instrumentation import PhaseTimings
+from repro.feast.instrumentation import PhaseTimings, TrialFailure
 from repro.feast.runner import ExperimentResult, TrialRecord
 
 FORMAT = "repro-experiment-result"
 VERSION = 1
+
+CHECKPOINT_FORMAT = "repro-sweep-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + fsync + replace).
+
+    Either the old content or the complete new content exists at ``path``
+    at every instant; a crash mid-write leaves the destination untouched
+    and no partial temp file behind.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fp:
+            fp.write(text)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
@@ -39,6 +88,9 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
             "topology": config.topology,
             "policy": config.policy,
             "respect_release_times": config.respect_release_times,
+            "speed_profile": config.speed_profile,
+            "trial_timeout": config.trial_timeout,
+            "max_retries": config.max_retries,
             "methods": [
                 {
                     "label": m.label,
@@ -46,7 +98,10 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
                     "comm": m.comm,
                     "surplus": m.surplus,
                     "threshold_factor": m.threshold_factor,
+                    "cost_per_item": m.cost_per_item,
                     "baseline": m.baseline,
+                    "capacity_aware": m.capacity_aware,
+                    "clamp_to_anchors": m.clamp_to_anchors,
                 }
                 for m in config.methods
             ],
@@ -56,6 +111,9 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         "timings": (
             result.timings.as_dict() if result.timings is not None else None
         ),
+        "failures": [f.as_dict() for f in result.failures],
+        "quarantined": [[s, i] for s, i in result.quarantined],
+        "fallback_reason": result.fallback_reason,
         "records": [r.as_dict() for r in result.records],
     }
 
@@ -66,7 +124,9 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
     The reconstructed config carries the run's identity (name, methods,
     sweep); custom ``graph_factory`` callables are not serializable and
     come back as ``None`` — fine for analysis, not for re-running factory
-    experiments from the file alone.
+    experiments from the file alone. Documents written before the
+    fault-tolerance fields existed decode with empty failure/quarantine
+    lists.
     """
     if not isinstance(data, dict) or data.get("format") != FORMAT:
         raise SerializationError(f"not a {FORMAT} document")
@@ -86,7 +146,10 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
                     comm=m["comm"],
                     surplus=m["surplus"],
                     threshold_factor=m["threshold_factor"],
+                    cost_per_item=m.get("cost_per_item", 1.0),
                     baseline=m.get("baseline"),
+                    capacity_aware=m.get("capacity_aware", False),
+                    clamp_to_anchors=m.get("clamp_to_anchors", True),
                 )
                 for m in c["methods"]
             ),
@@ -97,13 +160,23 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
             topology=c["topology"],
             policy=c["policy"],
             respect_release_times=c["respect_release_times"],
+            speed_profile=c.get("speed_profile", "uniform"),
+            trial_timeout=c.get("trial_timeout"),
+            max_retries=c.get("max_retries", 2),
         )
         records = [TrialRecord(**r) for r in data["records"]]
+        failures = [TrialFailure(**f) for f in data.get("failures", [])]
+        quarantined = [
+            (str(s), int(i)) for s, i in data.get("quarantined", [])
+        ]
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"malformed result document: {exc}") from exc
     result = ExperimentResult(config=config, records=records)
     result.elapsed_seconds = float(data.get("elapsed_seconds", 0.0))
     result.jobs = int(data.get("jobs", 1))
+    result.failures = failures
+    result.quarantined = quarantined
+    result.fallback_reason = data.get("fallback_reason")
     timings = data.get("timings")
     if timings is not None:
         result.timings = PhaseTimings(
@@ -113,9 +186,8 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
 
 
 def save_result(result: ExperimentResult, path: str) -> None:
-    """Write a result to ``path`` as JSON."""
-    with open(path, "w") as fp:
-        json.dump(result_to_dict(result), fp)
+    """Write a result to ``path`` as JSON, atomically."""
+    _atomic_write_text(path, json.dumps(result_to_dict(result)))
 
 
 def load_result(path: str) -> ExperimentResult:
@@ -126,6 +198,263 @@ def load_result(path: str) -> ExperimentResult:
         except json.JSONDecodeError as exc:
             raise SerializationError(f"invalid JSON in {path!r}: {exc}") from exc
     return result_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Sweep checkpoint journal
+# ----------------------------------------------------------------------
+def _config_identity(config: ExperimentConfig) -> Dict[str, Any]:
+    """The record-determining fields of a config, as plain JSON data.
+
+    Deliberately excludes ``description`` (cosmetic) and the
+    fault-tolerance knobs ``trial_timeout``/``max_retries`` (they bound
+    *how* trials run, never what a completed trial records), so a sweep
+    can be resumed with, say, a longer timeout. A ``graph_factory`` is
+    represented by its qualified name — the best identity available for
+    an arbitrary callable.
+    """
+    factory = config.graph_factory
+    return {
+        "name": config.name,
+        "seed": config.seed,
+        "scenarios": list(config.scenarios),
+        "n_graphs": config.n_graphs,
+        "system_sizes": list(config.system_sizes),
+        "topology": config.topology,
+        "policy": config.policy,
+        "respect_release_times": config.respect_release_times,
+        "speed_profile": config.speed_profile,
+        "methods": [asdict(m) for m in config.methods],
+        "graph_config": asdict(config.graph_config),
+        "graph_factory": (
+            None if factory is None
+            else getattr(factory, "__qualname__", repr(factory))
+        ),
+    }
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """Stable hash of the record-determining config fields."""
+    blob = json.dumps(_config_identity(config), sort_keys=True)
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass
+class ReplayedChunk:
+    """One completed chunk read back from a checkpoint journal.
+
+    Duck-compatible with :class:`repro.feast.parallel.ChunkResult` where
+    the engine needs it (``records``, ``timings``, ``failures``,
+    ``n_trials``).
+    """
+
+    scenario: str
+    index: int
+    records: Dict[Tuple[int, str], TrialRecord]
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    failures: List[TrialFailure] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.records)
+
+
+class CheckpointJournal:
+    """Append-only journal of completed trial chunks.
+
+    Line 1 is a header (format, version, config fingerprint); every
+    further line is one completed chunk's records, timings, and non-fatal
+    failure events. Appends are flushed and fsynced, so after a crash the
+    journal holds every chunk whose append returned — at worst plus one
+    truncated trailing line, which :meth:`_open_existing` repairs (the
+    interrupted chunk is simply re-run).
+    """
+
+    def __init__(self, path: str, config: ExperimentConfig) -> None:
+        self.path = os.path.abspath(path)
+        self.fingerprint = config_fingerprint(config)
+        self.experiment = config.name
+        #: Chunks recovered from an existing journal, keyed by
+        #: (scenario, graph index).
+        self.replayed: Dict[Tuple[str, int], ReplayedChunk] = {}
+        self._fp: Optional[IO[str]] = None
+        try:
+            exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot stat checkpoint {self.path!r}: {exc}"
+            ) from exc
+        if exists:
+            self._fp = self._open_existing()
+        else:
+            self._fp = self._create()
+
+    # ------------------------------------------------------------------
+    def _header_line(self) -> str:
+        return json.dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "fingerprint": self.fingerprint,
+                "experiment": self.experiment,
+            },
+            sort_keys=True,
+        )
+
+    def _create(self) -> IO[str]:
+        directory = os.path.dirname(self.path) or "."
+        if not os.path.isdir(directory):
+            raise CheckpointError(
+                f"checkpoint directory does not exist: {directory!r}"
+            )
+        try:
+            fp = open(self.path, "w")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint {self.path!r}: {exc}"
+            ) from exc
+        fp.write(self._header_line() + "\n")
+        fp.flush()
+        os.fsync(fp.fileno())
+        return fp
+
+    def _open_existing(self) -> IO[str]:
+        try:
+            with open(self.path) as fp:
+                text = fp.read()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path!r}: {exc}"
+            ) from exc
+        lines = text.splitlines()
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError) as exc:
+            raise CheckpointError(
+                f"{self.path!r} is not a checkpoint journal: bad header"
+            ) from exc
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != CHECKPOINT_FORMAT
+        ):
+            raise CheckpointError(
+                f"{self.path!r} is not a {CHECKPOINT_FORMAT} journal"
+            )
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version "
+                f"{header.get('version')!r} in {self.path!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} was written by a different "
+                f"experiment configuration (journal fingerprint "
+                f"{header.get('fingerprint')!r}, this config "
+                f"{self.fingerprint!r}); refusing to resume — delete the "
+                "file or use a fresh checkpoint path"
+            )
+        truncated = False
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            last = lineno == len(lines)
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                if last and not text.endswith("\n"):
+                    # A crash mid-append left a partial trailing line;
+                    # drop it and re-run that chunk.
+                    truncated = True
+                    break
+                raise CheckpointError(
+                    f"corrupt checkpoint line {lineno} in {self.path!r}"
+                ) from None
+            self._replay_line(data, lineno)
+        if truncated or (len(lines) > 0 and not text.endswith("\n")):
+            warnings.warn(
+                f"checkpoint {self.path!r} ends in a partial line "
+                "(interrupted append); dropping it and re-running that "
+                "chunk",
+                ExperimentWarning,
+                stacklevel=3,
+            )
+            sane = "\n".join(
+                [lines[0]]
+                + [ln for ln in lines[1:] if self._is_complete_line(ln)]
+            ) + "\n"
+            _atomic_write_text(self.path, sane)
+        fp = open(self.path, "a")
+        return fp
+
+    @staticmethod
+    def _is_complete_line(line: str) -> bool:
+        if not line.strip():
+            return False
+        try:
+            json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        return True
+
+    def _replay_line(self, data: Dict[str, Any], lineno: int) -> None:
+        try:
+            if data.get("kind") != "chunk":
+                raise KeyError("kind")
+            chunk = ReplayedChunk(
+                scenario=str(data["scenario"]),
+                index=int(data["index"]),
+                records={
+                    (int(e["size"]), str(e["method"])): TrialRecord(
+                        **e["record"]
+                    )
+                    for e in data["records"]
+                },
+                timings=PhaseTimings(
+                    **{k: float(v) for k, v in data["timings"].items()}
+                ),
+                failures=[
+                    TrialFailure(**f) for f in data.get("failures", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed chunk on checkpoint line {lineno} in "
+                f"{self.path!r}: {exc}"
+            ) from exc
+        self.replayed[(chunk.scenario, chunk.index)] = chunk
+
+    # ------------------------------------------------------------------
+    def append(self, chunk) -> None:
+        """Journal one completed chunk (flushed and fsynced)."""
+        if self._fp is None:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} is closed"
+            )
+        data = {
+            "kind": "chunk",
+            "scenario": chunk.scenario,
+            "index": chunk.index,
+            "records": [
+                {"size": size, "method": method, "record": record.as_dict()}
+                for (size, method), record in chunk.records.items()
+            ],
+            "timings": chunk.timings.as_dict(),
+            "failures": [f.as_dict() for f in chunk.failures],
+        }
+        self._fp.write(json.dumps(data, sort_keys=True) + "\n")
+        self._fp.flush()
+        os.fsync(self._fp.fileno())
+
+    def close(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)

@@ -36,13 +36,23 @@ from __future__ import annotations
 import hashlib
 import random
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.annotations import DeadlineAssignment
-from repro.errors import ExperimentError
+from repro.errors import (
+    ExperimentError,
+    ExperimentWarning,
+    QuarantinedTrialError,
+)
 from repro.feast.config import ExperimentConfig, MethodSpec, speeds_for
-from repro.feast.instrumentation import Instrumentation, PhaseTimings, ProgressFn
+from repro.feast.instrumentation import (
+    Instrumentation,
+    PhaseTimings,
+    ProgressFn,
+    TrialFailure,
+)
 from repro.graph.generator import RandomGraphConfig, generate_task_graph
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.system import System
@@ -155,6 +165,38 @@ class ExperimentResult:
     timings: Optional[PhaseTimings] = None
     #: Worker processes the run used (1 = serial).
     jobs: int = 1
+    #: Every fault event the run survived (crashes, timeouts, exceptions,
+    #: slow trials, quarantines), in observation order. Empty on a clean
+    #: run.
+    failures: List[TrialFailure] = field(default_factory=list)
+    #: (scenario, graph index) chunks that exhausted their retry budget;
+    #: their trials are *missing* from ``records``. Empty on a clean run.
+    quarantined: List[Tuple[str, int]] = field(default_factory=list)
+    #: Why the run executed on fewer workers than requested (unpicklable
+    #: config, repeated pool deaths); ``None`` when nothing degraded.
+    fallback_reason: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned trial produced a record."""
+        return not self.quarantined
+
+    def check(self) -> "ExperimentResult":
+        """Return ``self``, or raise if any trials were quarantined.
+
+        For callers that prefer the old fail-fast behavior over a
+        partial result.
+        """
+        if self.quarantined:
+            chunks = ", ".join(
+                f"({scenario}, {index})"
+                for scenario, index in self.quarantined
+            )
+            raise QuarantinedTrialError(
+                f"experiment {self.config.name!r} quarantined "
+                f"{len(self.quarantined)} chunk(s): {chunks}"
+            )
+        return self
 
     def filter(
         self,
@@ -263,6 +305,8 @@ def run_experiment(
     progress: Optional[ProgressFn] = None,
     jobs: Optional[int] = 1,
     instrumentation: Optional[Instrumentation] = None,
+    checkpoint: Optional[str] = None,
+    retry=None,
 ) -> ExperimentResult:
     """Execute every trial of ``config``.
 
@@ -270,8 +314,20 @@ def run_experiment(
     serial loop in-process; ``> 1`` fans trials out over that many worker
     processes; ``0`` or ``None`` uses all CPU cores. Parallel runs
     produce records identical to serial runs, in identical order. A
-    config whose ``graph_factory`` cannot be pickled falls back to serial
-    execution regardless of ``jobs``.
+    config whose ``graph_factory`` cannot be pickled falls back to
+    in-process execution regardless of ``jobs``, with an
+    :class:`ExperimentWarning` and the reason recorded on
+    ``result.fallback_reason``.
+
+    ``checkpoint`` names a journal file: completed work units are
+    appended as they finish, and a rerun with the same config and path
+    resumes where the previous run stopped — the resumed result is
+    byte-identical to an uninterrupted run. ``retry`` overrides the
+    :class:`~repro.feast.parallel.RetryPolicy` derived from the config.
+    Requesting any fault-tolerance feature (``checkpoint``, ``retry``, or
+    ``config.trial_timeout``) routes even a ``jobs=1`` run through the
+    supervised engine; a plain ``jobs=1`` run keeps the classic serial
+    loop, which raises on the first trial error.
 
     ``progress`` is a ``(done, total)`` callback; ``instrumentation``
     optionally supplies a preconfigured :class:`Instrumentation` (extra
@@ -283,10 +339,30 @@ def run_experiment(
     if progress is not None:
         inst.add_progress(progress)
     n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1 and is_parallelizable(config):
+    fallback_reason = None
+    if n_jobs > 1 and not is_parallelizable(config):
+        fallback_reason = (
+            f"experiment {config.name!r} carries an unpicklable "
+            f"graph_factory; ran in-process instead of on {n_jobs} workers"
+        )
+        warnings.warn(fallback_reason, ExperimentWarning, stacklevel=2)
+        n_jobs = 1
+    supervised = (
+        checkpoint is not None
+        or retry is not None
+        or config.trial_timeout is not None
+    )
+    if n_jobs > 1 or supervised or fallback_reason is not None:
         from repro.feast.parallel import run_parallel_experiment
 
-        return run_parallel_experiment(config, jobs=n_jobs, instrumentation=inst)
+        return run_parallel_experiment(
+            config,
+            jobs=n_jobs,
+            instrumentation=inst,
+            checkpoint=checkpoint,
+            retry=retry,
+            fallback_reason=fallback_reason,
+        )
     return _run_serial(config, inst)
 
 

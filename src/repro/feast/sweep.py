@@ -16,6 +16,7 @@ this module is for everything else one wants to ask the harness:
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import fields, replace
 from multiprocessing import Pool
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
@@ -90,11 +91,16 @@ def sweep_grid(
     return out
 
 
+def _checkpoint_path(checkpoint_dir: str, config: ExperimentConfig) -> str:
+    return os.path.join(checkpoint_dir, f"{config.name}.ckpt")
+
+
 def run_experiments(
     configs: Sequence[ExperimentConfig],
     processes: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run many experiments, optionally in parallel worker processes.
 
@@ -108,6 +114,13 @@ def run_experiments(
       *trials* out over worker processes (best for few large configs);
       see :func:`repro.feast.runner.run_experiment`.
 
+    ``checkpoint_dir`` makes the batch resumable: each config journals
+    its completed chunks to ``<dir>/<config name>.ckpt``, so re-running
+    the same call after an interruption re-runs only the missing work
+    (config names must therefore be unique, which
+    :func:`sweep_field`/:func:`sweep_grid` guarantee). Incompatible with
+    ``processes > 1``.
+
     ``progress`` is called with (completed configs, total) — per-trial
     progress is only available through
     :func:`repro.feast.runner.run_experiment` directly.
@@ -119,9 +132,22 @@ def run_experiments(
             "choose one parallelism axis: processes>1 (configs across "
             "workers) or jobs!=1 (trials across workers), not both"
         )
+    if checkpoint_dir is not None and processes > 1:
+        raise ExperimentError(
+            "checkpoint_dir requires the jobs axis (trial-level "
+            "checkpointing); it cannot be combined with processes>1"
+        )
     configs = list(configs)
     if not configs:
         return []
+    if checkpoint_dir is not None:
+        names = [c.name for c in configs]
+        if len(set(names)) != len(names):
+            raise ExperimentError(
+                "checkpoint_dir needs unique config names, got duplicates: "
+                f"{sorted(n for n in set(names) if names.count(n) > 1)}"
+            )
+        os.makedirs(checkpoint_dir, exist_ok=True)
     parallel = processes > 1 and all(
         c.graph_factory is None for c in configs
     )
@@ -136,7 +162,11 @@ def run_experiments(
                     progress(index + 1, len(configs))
         return results
     for index, config in enumerate(configs):
-        results.append(run_experiment(config, jobs=jobs))
+        checkpoint = (
+            _checkpoint_path(checkpoint_dir, config)
+            if checkpoint_dir is not None else None
+        )
+        results.append(run_experiment(config, jobs=jobs, checkpoint=checkpoint))
         if progress is not None:
             progress(index + 1, len(configs))
     return results

@@ -21,14 +21,22 @@ Search techniques: deadline-ordered branching (good incumbents early), an
 admissible completion-time bound (contention-free longest path from the
 scheduled frontier), processor-symmetry breaking (identical empty
 processors are interchangeable), and an initial incumbent from the list
-scheduler. The node budget makes worst cases fail loudly instead of
-hanging: ``proven_optimal`` reports whether the search completed.
+scheduler. Two budgets make worst cases degrade gracefully instead of
+hanging: the node budget caps explored search nodes, and a wall-clock
+deadline (an explicit ``time_limit`` and/or the ambient per-trial budget
+from :mod:`repro.budget`, as set by the experiment engine) interrupts
+the search cooperatively. Either way the incumbent — at worst the list
+scheduler's schedule — is returned; ``proven_optimal`` reports whether
+the search completed and ``timed_out`` whether the clock cut it short.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
+
+from repro import budget as trial_budget
 
 from repro.core.annotations import DeadlineAssignment
 from repro.core.pinning import validate_pins
@@ -57,6 +65,9 @@ class OptimalResult:
     max_lateness: Time
     nodes_explored: int
     proven_optimal: bool
+    #: True when a wall-clock deadline (``time_limit`` or the ambient
+    #: trial budget) interrupted the search before it completed.
+    timed_out: bool = False
 
 
 class BranchAndBoundScheduler:
@@ -67,6 +78,7 @@ class BranchAndBoundScheduler:
         system: System,
         node_limit: int = 500_000,
         max_subtasks: int = 16,
+        time_limit: Optional[float] = None,
     ) -> None:
         if not isinstance(system.interconnect, IdealNetwork):
             # Rebuild the platform with a contention-free network of the
@@ -82,6 +94,11 @@ class BranchAndBoundScheduler:
         self.system = system
         self.node_limit = node_limit
         self.max_subtasks = max_subtasks
+        if time_limit is not None and not time_limit >= 0:
+            raise SchedulingError(
+                f"time_limit must be >= 0 when set, got {time_limit}"
+            )
+        self.time_limit = time_limit
 
     def schedule(
         self, graph: TaskGraph, assignment: DeadlineAssignment
@@ -108,6 +125,14 @@ class BranchAndBoundScheduler:
         self._topo: List[int] = index.topological_order()
         self._explored = 0
         self._budget_exhausted = False
+        self._timed_out = False
+        # Effective wall-clock deadline: the tighter of the explicit
+        # time_limit and the ambient per-trial budget, if either is set.
+        clock: Optional[float] = trial_budget.current_trial_deadline()
+        if self.time_limit is not None:
+            own = time.monotonic() + self.time_limit
+            clock = own if clock is None else min(clock, own)
+        self._clock_deadline = clock
 
         incumbent = ListScheduler(self.system).schedule(graph, assignment)
         self._best_lateness = self._lateness_of(incumbent)
@@ -138,6 +163,7 @@ class BranchAndBoundScheduler:
             max_lateness=self._lateness_of(schedule),
             nodes_explored=self._explored,
             proven_optimal=not self._budget_exhausted,
+            timed_out=self._timed_out,
         )
 
     # ------------------------------------------------------------------
@@ -216,6 +242,13 @@ class BranchAndBoundScheduler:
         self._explored += 1
         if self._explored > self.node_limit:
             self._budget_exhausted = True
+            return
+        if (
+            self._clock_deadline is not None
+            and time.monotonic() >= self._clock_deadline
+        ):
+            self._budget_exhausted = True
+            self._timed_out = True
             return
         if not ready:
             if current_lateness < self._best_lateness - EPS:

@@ -161,3 +161,52 @@ class TestCommands:
             "runs-ablation-release-greedy.json",
             "runs-ablation-release-tt.json",
         ]
+
+
+class TestCheckpointFlags:
+    BASE = ["run", "figure5", "--graphs", "1", "--sizes", "2", "--quiet"]
+
+    def test_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "figure5", "--trial-timeout", "30", "--retries", "4",
+             "--checkpoint", "sweep.ckpt", "--resume"]
+        )
+        assert args.trial_timeout == 30.0
+        assert args.retries == 4
+        assert args.checkpoint == "sweep.ckpt"
+        assert args.resume is True
+
+    def test_checkpointed_run_and_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        assert main(self.BASE + ["--checkpoint", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(self.BASE + ["--checkpoint", ckpt, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        # The resumed run replays the journal and prints the same panels.
+        assert resumed.splitlines()[:5] == first.splitlines()[:5]
+
+    def test_existing_checkpoint_without_resume_errors(self, tmp_path,
+                                                       capsys):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        assert main(self.BASE + ["--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(self.BASE + ["--checkpoint", ckpt]) == 2
+        err = capsys.readouterr().err
+        assert "already exists" in err and "--resume" in err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(self.BASE + ["--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_trial_timeout_flag_overrides_config(self, tmp_path, capsys):
+        """The override lands in the saved result's config."""
+        from repro.feast import load_result
+
+        save = str(tmp_path / "r.json")
+        code = main(self.BASE + [
+            "--trial-timeout", "45", "--retries", "7", "--save", save,
+        ])
+        assert code == 0
+        back = load_result(save)
+        assert back.config.trial_timeout == 45.0
+        assert back.config.max_retries == 7

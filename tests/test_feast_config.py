@@ -113,3 +113,26 @@ class TestExperimentConfig:
     def test_bad_n_graphs(self):
         with pytest.raises(ExperimentError):
             self.base(n_graphs=0)
+
+    def test_validation_messages_name_the_field(self):
+        """Eager validation points at the offending field and value."""
+        with pytest.raises(ExperimentError, match="methods"):
+            self.base(methods=())
+        with pytest.raises(ExperimentError, match=r"n_graphs.*-3"):
+            self.base(n_graphs=-3)
+        with pytest.raises(ExperimentError, match="system_sizes"):
+            self.base(system_sizes=())
+        with pytest.raises(ExperimentError, match=r"system_sizes.*\(0, 2\)"):
+            self.base(system_sizes=(0, 2))
+
+    def test_trial_timeout_validation(self):
+        assert self.base(trial_timeout=None).trial_timeout is None
+        assert self.base(trial_timeout=1.5).trial_timeout == 1.5
+        for bad in (0, -1.0, float("nan")):
+            with pytest.raises(ExperimentError, match="trial_timeout"):
+                self.base(trial_timeout=bad)
+
+    def test_max_retries_validation(self):
+        assert self.base(max_retries=0).max_retries == 0
+        with pytest.raises(ExperimentError, match="max_retries"):
+            self.base(max_retries=-1)

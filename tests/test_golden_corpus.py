@@ -184,6 +184,30 @@ def test_experiment_records_bit_identical(jobs):
     assert fresh == golden
 
 
+def test_interrupted_checkpoint_resume_bit_identical(tmp_path):
+    """A sweep interrupted mid-run and resumed from its checkpoint must
+    reproduce the frozen records exactly — including the chunks that were
+    journaled to JSON and replayed (float round-trip is exact)."""
+    golden = _load_golden()["experiment_records"]
+    config = _experiment_config()
+    path = str(tmp_path / "golden.ckpt")
+
+    count = [0]
+
+    def interrupt_after_two(done, total):
+        count[0] += 1
+        if count[0] == 2:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run_experiment(config, checkpoint=path,
+                       progress=interrupt_after_two)
+    resumed = run_experiment(config, checkpoint=path)
+    fresh = [json.loads(json.dumps(r.as_dict())) for r in resumed.records]
+    assert fresh == golden
+    assert resumed.complete
+
+
 # ----------------------------------------------------------------------
 # Regeneration entry point
 # ----------------------------------------------------------------------

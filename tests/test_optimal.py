@@ -137,3 +137,51 @@ class TestGuards:
         result = BranchAndBoundScheduler(System(2)).schedule(g, assign(g))
         result.schedule.validate()
         assert result.nodes_explored > 0
+
+
+class TestTimeBudgets:
+    def test_negative_time_limit_rejected(self):
+        with pytest.raises(SchedulingError, match="time_limit"):
+            BranchAndBoundScheduler(System(2), time_limit=-1.0)
+
+    def test_zero_time_limit_falls_back_to_incumbent(self):
+        g = small_graph(3)
+        result = BranchAndBoundScheduler(
+            System(3), time_limit=0.0
+        ).schedule(g, assign(g))
+        assert result.timed_out
+        assert not result.proven_optimal
+        result.schedule.validate()
+        # The incumbent is the list scheduler's schedule.
+        a = assign(g)
+        heuristic = ListScheduler(
+            System(3, interconnect=IdealNetwork(3))
+        ).schedule(g, a)
+        assert result.max_lateness == pytest.approx(max(
+            heuristic.finish_time(n) - a.absolute_deadline(n)
+            for n in g.node_ids()
+        ))
+
+    def test_ambient_trial_budget_interrupts_search(self):
+        from repro import budget
+
+        g = small_graph(4)
+        with budget.trial_deadline(0.0):
+            result = BranchAndBoundScheduler(System(3)).schedule(g, assign(g))
+        assert result.timed_out and not result.proven_optimal
+        result.schedule.validate()
+
+    def test_generous_limit_still_proves_optimality(self):
+        g = small_graph(5)
+        result = BranchAndBoundScheduler(
+            System(2), time_limit=60.0
+        ).schedule(g, assign(g))
+        assert result.proven_optimal and not result.timed_out
+
+    def test_node_budget_alone_does_not_claim_timeout(self):
+        g = small_graph(1)
+        result = BranchAndBoundScheduler(
+            System(3), node_limit=0
+        ).schedule(g, assign(g))
+        assert not result.proven_optimal
+        assert not result.timed_out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ExperimentWarning
 from repro.feast.config import ExperimentConfig, MethodSpec
 from repro.feast.instrumentation import Instrumentation, PhaseTimings
 from repro.feast.parallel import (
@@ -107,8 +107,11 @@ class TestDispatch:
             methods=(MethodSpec(label="PURE", metric="PURE"),),
         )
         assert not is_parallelizable(cfg)
-        result = run_experiment(cfg, jobs=4)
+        with pytest.warns(ExperimentWarning, match="unpicklable"):
+            result = run_experiment(cfg, jobs=4)
         assert result.jobs == 1
+        assert result.fallback_reason is not None
+        assert "unpicklable" in result.fallback_reason
         assert dicts(result) == dicts(run_experiment(cfg, jobs=1))
 
     def test_run_parallel_rejects_unpicklable(self):

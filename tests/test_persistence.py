@@ -78,6 +78,110 @@ class TestRoundTrip:
         with pytest.raises(SerializationError):
             load_result(str(path))
 
+    def test_fault_fields_roundtrip(self, result, tmp_path):
+        from repro.feast.instrumentation import TrialFailure
+
+        annotated = ExperimentResult(
+            config=result.config,
+            records=list(result.records),
+            failures=[
+                TrialFailure(scenario="MDET", index=1, kind="crash",
+                             message="worker died", attempt=1),
+                TrialFailure(scenario="MDET", index=1, kind="quarantine",
+                             message="gave up", attempt=3),
+            ],
+            quarantined=[("MDET", 1)],
+            fallback_reason="pool died too often",
+        )
+        path = str(tmp_path / "faults.json")
+        save_result(annotated, path)
+        back = load_result(path)
+        assert back.failures == annotated.failures
+        assert back.quarantined == [("MDET", 1)]
+        assert back.fallback_reason == "pool died too often"
+        assert not back.complete
+
+    def test_old_documents_decode_without_fault_fields(self, result):
+        doc = result_to_dict(result)
+        for legacy_missing in ("failures", "quarantined", "fallback_reason"):
+            del doc[legacy_missing]
+        back = result_from_dict(doc)
+        assert back.failures == [] and back.quarantined == []
+        assert back.fallback_reason is None and back.complete
+
+    def test_timeout_and_retry_config_roundtrip(self, tmp_path):
+        from dataclasses import replace
+
+        cfg = replace(small_config(), trial_timeout=7.5, max_retries=5)
+        saved = ExperimentResult(config=cfg)
+        path = str(tmp_path / "cfg.json")
+        save_result(saved, path)
+        back = load_result(path)
+        assert back.config.trial_timeout == 7.5
+        assert back.config.max_retries == 5
+
+    def test_method_extras_roundtrip(self, tmp_path):
+        cfg = ExperimentConfig(
+            name="extras",
+            description="method field fidelity",
+            methods=(
+                MethodSpec(label="AC", metric="ADAPT", capacity_aware=True),
+                MethodSpec(label="NC", metric="PURE", comm="CCAA",
+                           cost_per_item=2.5, clamp_to_anchors=False),
+            ),
+            scenarios=("MDET",),
+            n_graphs=1,
+            system_sizes=(2,),
+        )
+        back = result_from_dict(result_to_dict(ExperimentResult(config=cfg)))
+        assert back.config.methods[0].capacity_aware is True
+        assert back.config.methods[1].cost_per_item == 2.5
+        assert back.config.methods[1].clamp_to_anchors is False
+
+
+class TestAtomicSave:
+    def test_no_partial_file_on_crash(self, tmp_path, monkeypatch, result):
+        """A crash mid-write must leave the old content intact and no
+        temp litter behind."""
+        import os
+
+        from repro.feast import persistence
+
+        path = tmp_path / "r.json"
+        save_result(result, str(path))
+        good = path.read_text()
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_result(result, str(path))
+        monkeypatch.setattr(persistence.os, "replace", real_replace)
+        assert path.read_text() == good
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_fsync_called_before_replace(self, tmp_path, monkeypatch, result):
+        import os
+
+        from repro.feast import persistence
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            persistence.os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            persistence.os, "replace",
+            lambda s, d: (events.append("replace"), real_replace(s, d))[1],
+        )
+        save_result(result, str(tmp_path / "r.json"))
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
 
 class TestCompare:
     def test_identical_runs_no_deltas(self, result):

@@ -120,6 +120,35 @@ class TestRunExperiments:
         with pytest.raises(ExperimentError, match="one parallelism axis"):
             run_experiments([base_config()], processes=2, jobs=2)
 
+    def test_checkpoint_dir_resumes_batch(self, tmp_path):
+        import os
+
+        configs = sweep_field(base_config(), "seed", [3, 4])
+        ckpt = str(tmp_path / "ckpts")
+        first = run_experiments(configs, checkpoint_dir=ckpt)
+        assert sorted(os.listdir(ckpt)) == sorted(
+            f"{c.name}.ckpt" for c in configs
+        )
+        again = run_experiments(configs, checkpoint_dir=ckpt)
+        for a, b in zip(first, again):
+            assert [r.as_dict() for r in a.records] == [
+                r.as_dict() for r in b.records
+            ]
+
+    def test_checkpoint_dir_rejects_processes_axis(self, tmp_path):
+        with pytest.raises(ExperimentError, match="checkpoint_dir"):
+            run_experiments(
+                [base_config()], processes=2,
+                checkpoint_dir=str(tmp_path),
+            )
+
+    def test_checkpoint_dir_rejects_duplicate_names(self, tmp_path):
+        with pytest.raises(ExperimentError, match="unique"):
+            run_experiments(
+                [base_config(), base_config()],
+                checkpoint_dir=str(tmp_path),
+            )
+
     def test_empty(self):
         assert run_experiments([]) == []
 

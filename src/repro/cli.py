@@ -16,17 +16,28 @@ serial) with::
 
     repro run figure5 --jobs 8
 
+Record a run's telemetry (spans, metrics, resource samples), then
+inspect it or convert it for Perfetto / ``chrome://tracing``::
+
+    repro run figure5 --trace traces/
+    repro report traces/figure5.events.jsonl
+    repro trace traces/figure5.events.jsonl -o figure5.trace.json
+
 Inspect one generated workload and one schedule::
 
     repro demo --processors 4 --metric ADAPT
+
+Progress, profiles, and fault diagnostics go to **stderr**; stdout
+carries only the run's reports, so piping stdout stays clean.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core import ast, bst, validate_assignment
 from repro.core.slicer import DeadlineDistributor
@@ -134,11 +145,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--profile", action="store_true",
-        help="print per-phase wall-clock timers (generate/distribute/"
-        "schedule) after each experiment",
+        help="print per-phase timers, wall-clock elapsed, and parallel "
+        "efficiency after each experiment (to stderr)",
+    )
+    run.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="record telemetry (spans, metrics, resource samples) and "
+        "write DIR/<experiment>.events.jsonl; inspect with "
+        "`repro report` / `repro trace`",
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
+    )
+    run.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI styling of the progress line (also disabled "
+        "when stderr is not a TTY or NO_COLOR is set)",
     )
 
     comp = sub.add_parser(
@@ -149,6 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument(
         "--threshold", type=float, default=1.0,
         help="ignore per-point changes below this many time units",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="render a human-readable report of a telemetry event log",
+    )
+    rep.add_argument(
+        "events", help="events.jsonl written by `repro run --trace`"
+    )
+
+    tr = sub.add_parser(
+        "trace",
+        help="convert a telemetry event log to Chrome trace JSON "
+        "(loads in Perfetto / chrome://tracing)",
+    )
+    tr.add_argument(
+        "events", help="events.jsonl written by `repro run --trace`"
+    )
+    tr.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: the input with .events.jsonl "
+        "replaced by .trace.json)",
     )
 
     demo = sub.add_parser(
@@ -178,8 +222,13 @@ def cmd_list() -> int:
     return 0
 
 
-def _phase_profile(name: str, instrumentation) -> str:
-    """Render the per-phase wall-clock summary of one experiment run."""
+def _phase_profile(name: str, instrumentation, jobs: int = 1) -> str:
+    """Render the per-phase timing summary of one experiment run.
+
+    Reports the summed CPU-side phase time *and* the wall-clock elapsed
+    separately — in parallel mode the former can exceed the latter, and
+    their ratio per worker is the parallel efficiency.
+    """
     timings = instrumentation.timings
     total = timings.total or 1.0
     lines = [f"phase profile ({name}):"]
@@ -187,8 +236,44 @@ def _phase_profile(name: str, instrumentation) -> str:
         lines.append(
             f"  {phase:<12} {seconds:8.3f}s  ({100.0 * seconds / total:5.1f}%)"
         )
-    lines.append(f"  {'total':<12} {timings.total:8.3f}s")
+    lines.append(
+        f"  {'total':<12} {timings.total:8.3f}s  (summed across workers)"
+    )
+    lines.append(
+        f"  {'wall':<12} {instrumentation.wall_elapsed:8.3f}s"
+    )
+    efficiency = instrumentation.parallel_efficiency(jobs)
+    if efficiency is not None and jobs > 1:
+        lines.append(
+            f"  {'efficiency':<12} {efficiency:7.0%}   ({jobs} workers)"
+        )
     return "\n".join(lines)
+
+
+def _progress_printer(no_color: bool) -> Callable[[int, int], None]:
+    """A ``(done, total)`` callback rendering progress on stderr.
+
+    On a TTY: a single self-overwriting line, dimmed unless colors are
+    off (``--no-color`` or the ``NO_COLOR`` convention). Piped: plain
+    ``done/total`` lines at ~10% steps, so logs stay readable and
+    stdout stays machine-parseable either way.
+    """
+    stream = sys.stderr
+    is_tty = bool(getattr(stream, "isatty", lambda: False)())
+    color = is_tty and not no_color and not os.environ.get("NO_COLOR")
+    dim, reset = ("\x1b[2m", "\x1b[0m") if color else ("", "")
+
+    if is_tty:
+        def progress(done: int, total: int) -> None:
+            stream.write(f"\r{dim}  {done}/{total} trials{reset}")
+            if done >= total:
+                stream.write("\n")
+            stream.flush()
+    else:
+        def progress(done: int, total: int) -> None:
+            if done % max(1, total // 10) == 0:
+                print(f"  {done}/{total}", file=stream)
+    return progress
 
 
 def _suffixed_path(path: str, name: str) -> str:
@@ -228,7 +313,6 @@ def _fault_summary(result) -> Optional[str]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     import dataclasses
-    import os
 
     kwargs = {}
     if args.graphs is not None:
@@ -266,24 +350,30 @@ def cmd_run(args: argparse.Namespace) -> int:
                 )
                 return 2
             checkpoints[config.name] = path
+    if args.trace:
+        os.makedirs(args.trace, exist_ok=True)
     csv_chunks: List[str] = []
     results = []
     for config in configs:
         if not args.quiet:
             print(
                 f"running {config.name}: {config.n_trials} trials "
-                f"({jobs} job{'s' if jobs != 1 else ''}) ..."
+                f"({jobs} job{'s' if jobs != 1 else ''}) ...",
+                file=sys.stderr,
             )
 
-        def progress(done: int, total: int) -> None:
-            if not args.quiet and done % max(1, total // 10) == 0:
-                print(f"  {done}/{total}", file=sys.stderr)
+        progress = None if args.quiet else _progress_printer(args.no_color)
 
         instrumentation = None
-        if args.profile:
+        if args.profile or args.trace:
             from repro.feast.instrumentation import Instrumentation
 
-            instrumentation = Instrumentation()
+            telemetry = None
+            if args.trace:
+                from repro.obs import Telemetry
+
+                telemetry = Telemetry()
+            instrumentation = Instrumentation(telemetry=telemetry)
         result = run_experiment(
             config, progress=progress, jobs=jobs,
             instrumentation=instrumentation,
@@ -293,11 +383,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         summary = _fault_summary(result)
         if summary is not None:
-            print(summary)
-            print()
-        if instrumentation is not None:
-            print(_phase_profile(config.name, instrumentation))
-            print()
+            print(summary, file=sys.stderr)
+        if instrumentation is not None and args.profile:
+            print(
+                _phase_profile(config.name, instrumentation, jobs=jobs),
+                file=sys.stderr,
+            )
+        if args.trace:
+            from repro.feast.sweep import trace_path, write_run_events
+
+            events_path = trace_path(args.trace, config)
+            write_run_events(events_path, result, instrumentation)
+            print(f"wrote {events_path}", file=sys.stderr)
         if args.plot:
             from repro.feast import lateness_plot
 
@@ -387,6 +484,39 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import SerializationError
+    from repro.obs import read_events, render_run_report
+
+    try:
+        events = read_events(args.events, allow_partial=True)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_run_report(events))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import SerializationError
+    from repro.obs import read_events, write_chrome_trace
+
+    output = args.output
+    if output is None:
+        base = args.events
+        if base.endswith(".events.jsonl"):
+            base = base[: -len(".events.jsonl")]
+        output = base + ".trace.json"
+    try:
+        events = read_events(args.events, allow_partial=True)
+        write_chrome_trace(output, events)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {output}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.feast import compare, load_result
 
@@ -424,6 +554,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_demo(args)
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "report":
+        return cmd_report(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional
 
 from repro.core.commcost import CommCostEstimator
 from repro.graph.taskgraph import TaskGraph
+from repro.obs import runtime as obs
 from repro.types import EdgeId, NodeId, Time
 
 #: Kind tags of expanded-graph nodes.
@@ -120,6 +121,7 @@ class ExpandedGraph:
         """
         key = estimator.cache_key()
         if key is None:
+            obs.count("expanded.cache.uncacheable")
             return cls(graph, estimator)
         index = graph.index()
         fingerprint = index.value_fingerprint()
@@ -127,7 +129,9 @@ class ExpandedGraph:
         if cached is not None and cached[0] == fingerprint:
             expanded = cached[1]
             assert isinstance(expanded, cls)
+            obs.count("expanded.cache.hits")
             return expanded
+        obs.count("expanded.cache.misses")
         expanded = cls(graph, estimator)
         index._expanded_cache[key] = (fingerprint, expanded)
         return expanded

@@ -36,6 +36,8 @@ from repro.core.metrics import (
 )
 from repro.errors import DistributionError
 from repro.graph.taskgraph import TaskGraph
+from repro.obs import runtime as obs
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.types import Time
 
 
@@ -153,6 +155,12 @@ class DeadlineDistributor:
                 windows,
             )
 
+        obs.count("slicer.distributions")
+        obs.count("slicer.slices", len(slices))
+        obs.observe(
+            "slicer.slices_per_distribution", len(slices),
+            buckets=COUNT_BUCKETS,
+        )
         return self._build_assignment(expanded, windows, slices, n_processors)
 
     # ------------------------------------------------------------------

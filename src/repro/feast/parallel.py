@@ -85,6 +85,10 @@ from repro.errors import (
     TrialTimeoutError,
     WorkerCrashError,
 )
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.resources import ResourceSample, sample_resources
+from repro.obs.spans import Span
 from repro.feast.config import ExperimentConfig, speeds_for
 from repro.feast.instrumentation import (
     Instrumentation,
@@ -211,6 +215,12 @@ class ChunkResult:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     #: Non-fatal fault events observed inside the worker (slow trials).
     failures: List[TrialFailure] = field(default_factory=list)
+    #: Telemetry recorded inside the worker when tracing is on: the
+    #: chunk's finished span tree, its local metrics registry, and its
+    #: resource-use delta. All empty/None on untraced runs.
+    spans: List[Span] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+    resources: List[ResourceSample] = field(default_factory=list)
 
     @property
     def n_trials(self) -> int:
@@ -221,6 +231,7 @@ def run_chunk(
     spec: TrialSpec,
     trial_timeout: Optional[float] = None,
     attempt: int = 0,
+    trace: bool = False,
 ) -> ChunkResult:
     """Execute one chunk (runs inside a worker process).
 
@@ -231,71 +242,119 @@ def run_chunk(
     ``trial_timeout`` seconds (default: the config's); a trial that
     completes past its budget is kept but flagged with a ``slow-trial``
     failure event.
+
+    With ``trace=True`` the worker records a local telemetry session —
+    a ``chunk`` span holding one ``trial`` span per (size × method),
+    each with ``generate``/``distribute``/``schedule`` children plus
+    whatever deeper components report (B&B search spans, cache
+    counters) — samples its own RSS/CPU around the chunk, and ships
+    everything back on the :class:`ChunkResult`. Tracing never changes
+    the records: the measured pipeline is identical either way.
     """
     config = spec.config
     timeout = trial_timeout if trial_timeout is not None else config.trial_timeout
     inst = Instrumentation()
     chunk = ChunkResult(scenario=spec.scenario, index=spec.index,
                         timings=inst.timings)
-    graph_config = config.graph_config.with_scenario(spec.scenario)
-    with inst.phase("generate"):
-        graph = graph_for_trial(config, graph_config, spec.scenario, spec.index)
-    distributors = {method.label: method.build() for method in config.methods}
-    reusable: Dict[object, object] = {}
-    for n_processors in config.system_sizes:
-        speeds = speeds_for(config.speed_profile, n_processors)
-        system = System(
-            n_processors,
-            interconnect=make_interconnect(config.topology, n_processors),
-            speeds=speeds,
-        )
-        total_capacity = float(sum(speeds))
-        for method in config.methods:
-            with budget.trial_deadline(timeout):
-                with inst.phase("distribute"):
-                    assignment = distribute_for_trial(
-                        method,
-                        distributors[method.label],
-                        graph,
-                        n_processors,
-                        total_capacity,
-                        reusable,
-                        method.label,
+    telemetry = obs.Telemetry() if trace else None
+    before = sample_resources() if trace else None
+    with obs.activate(telemetry):
+        with obs.span("chunk", scenario=spec.scenario, index=spec.index,
+                      attempt=attempt) as chunk_span:
+            graph_config = config.graph_config.with_scenario(spec.scenario)
+            with inst.phase("generate"):
+                graph = graph_for_trial(
+                    config, graph_config, spec.scenario, spec.index
+                )
+            distributors = {
+                method.label: method.build() for method in config.methods
+            }
+            reusable: Dict[object, object] = {}
+            for n_processors in config.system_sizes:
+                speeds = speeds_for(config.speed_profile, n_processors)
+                system = System(
+                    n_processors,
+                    interconnect=make_interconnect(
+                        config.topology, n_processors
+                    ),
+                    speeds=speeds,
+                )
+                total_capacity = float(sum(speeds))
+                for method in config.methods:
+                    with obs.span("trial", n_processors=n_processors,
+                                  method=method.label), \
+                         budget.trial_deadline(timeout):
+                        began = time.perf_counter()
+                        with inst.phase("distribute"):
+                            assignment = distribute_for_trial(
+                                method,
+                                distributors[method.label],
+                                graph,
+                                n_processors,
+                                total_capacity,
+                                reusable,
+                                method.label,
+                            )
+                        obs.observe(
+                            f"distribute.seconds.n{graph.n_subtasks}",
+                            time.perf_counter() - began,
+                        )
+                        with inst.phase("schedule"):
+                            metrics = run_trial(
+                                graph,
+                                assignment,
+                                system,
+                                policy_name=config.policy,
+                                respect_release_times=(
+                                    config.respect_release_times
+                                ),
+                            )
+                        if budget.expired():
+                            obs.count("engine.faults.slow-trial")
+                            chunk.failures.append(TrialFailure(
+                                scenario=spec.scenario,
+                                index=spec.index,
+                                kind="slow-trial",
+                                message=(
+                                    f"trial (n_processors={n_processors}, "
+                                    f"method={method.label}) overran its "
+                                    f"{timeout:g}s budget; result kept"
+                                ),
+                            ))
+                    chunk.records[(n_processors, method.label)] = make_record(
+                        config, spec.scenario, n_processors, method,
+                        spec.index, assignment, metrics,
                     )
-                with inst.phase("schedule"):
-                    metrics = run_trial(
-                        graph,
-                        assignment,
-                        system,
-                        policy_name=config.policy,
-                        respect_release_times=config.respect_release_times,
-                    )
-                if budget.expired():
-                    chunk.failures.append(TrialFailure(
-                        scenario=spec.scenario,
-                        index=spec.index,
-                        kind="slow-trial",
-                        message=(
-                            f"trial (n_processors={n_processors}, "
-                            f"method={method.label}) overran its "
-                            f"{timeout:g}s budget; result kept"
-                        ),
-                    ))
-            chunk.records[(n_processors, method.label)] = make_record(
-                config, spec.scenario, n_processors, method,
-                spec.index, assignment, metrics,
-            )
+            obs.count("engine.chunks_completed")
+            obs.count("engine.trials_measured", len(chunk.records))
+            if chunk_span is not None and before is not None:
+                used = sample_resources().delta(before)
+                chunk_span.annotate(
+                    rss_max_kb=used.rss_max_kb,
+                    cpu_user_s=used.cpu_user_s,
+                    cpu_system_s=used.cpu_system_s,
+                )
+                obs.gauge("worker.rss_max_kb", used.rss_max_kb)
+                chunk.resources.append(used)
+    if telemetry is not None:
+        chunk.spans = telemetry.spans.finished()
+        chunk.metrics = telemetry.metrics
     return chunk
 
 
 def _execute_chunk(
-    spec: TrialSpec, attempt: int, trial_timeout: Optional[float]
+    spec: TrialSpec,
+    attempt: int,
+    trial_timeout: Optional[float],
+    trace: bool = False,
 ) -> ChunkResult:
     """Worker entry point: fault-injection hook + the chunk itself."""
     from repro.feast import faultinject
 
     faultinject.maybe_inject(spec.scenario, spec.index, attempt)
-    return run_chunk(spec, trial_timeout=trial_timeout, attempt=attempt)
+    return run_chunk(
+        spec, trial_timeout=trial_timeout, attempt=attempt, trace=trace
+    )
 
 
 @dataclass
@@ -329,6 +388,8 @@ class _ChunkSupervisor:
         self.inst = inst
         self.policy = policy
         self.journal = journal
+        #: Whether workers should record and ship telemetry.
+        self.trace = inst.telemetry is not None
         self.states: Dict[ChunkKey, _ChunkState] = {}
         self.waiting: List[ChunkKey] = []
         self.done: Dict[ChunkKey, ChunkResult] = {}
@@ -369,6 +430,12 @@ class _ChunkSupervisor:
             self.inst.record_failure(failure)
         if self.journal is not None:
             self.journal.append(chunk)
+        if self.inst.telemetry is not None:
+            # Graft the worker's span tree under the run span and fold
+            # its metrics/resource samples into the run's registry.
+            self.inst.telemetry.adopt_chunk(
+                chunk.spans, chunk.metrics, chunk.resources
+            )
         self.inst.absorb(chunk.timings, chunk.n_trials)
 
     def _fail(self, key: ChunkKey, kind: str, exc: BaseException) -> None:
@@ -441,7 +508,7 @@ class _ChunkSupervisor:
         try:
             future = self._pool.submit(
                 _execute_chunk, state.spec, state.attempt,
-                self.config.trial_timeout,
+                self.config.trial_timeout, self.trace,
             )
         except BrokenExecutor:
             return False
@@ -664,7 +731,8 @@ class _ChunkSupervisor:
             state = self.states[key]
             try:
                 chunk = _execute_chunk(
-                    state.spec, state.attempt, self.config.trial_timeout
+                    state.spec, state.attempt, self.config.trial_timeout,
+                    self.trace,
                 )
             except Exception as exc:
                 self._fail(key, "exception", exc)
@@ -709,12 +777,27 @@ def run_parallel_experiment(
         from repro.feast.persistence import CheckpointJournal
 
         journal = CheckpointJournal(checkpoint, config)
-    supervisor = _ChunkSupervisor(config, n_jobs, inst, policy, journal)
-    try:
-        supervisor.run(in_process=in_process)
-    finally:
-        if journal is not None:
-            journal.close()
+    parent_sample = (
+        sample_resources() if inst.telemetry is not None else None
+    )
+    with obs.activate(inst.telemetry):
+        with obs.toplevel_span(
+            "run", experiment=config.name, jobs=n_jobs,
+            engine="in-process" if in_process else "pool",
+        ):
+            supervisor = _ChunkSupervisor(
+                config, n_jobs, inst, policy, journal
+            )
+            try:
+                supervisor.run(in_process=in_process)
+            finally:
+                if journal is not None:
+                    journal.close()
+        if parent_sample is not None:
+            used = sample_resources().delta(parent_sample)
+            obs.gauge("parent.rss_max_kb", used.rss_max_kb)
+            inst.telemetry.resources.append(used)
+    inst.finish()
 
     quarantined = sorted(
         supervisor.quarantined,

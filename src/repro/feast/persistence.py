@@ -28,7 +28,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, IO, List, Optional, Tuple
@@ -38,38 +37,18 @@ from repro.feast.aggregate import mean_max_lateness
 from repro.feast.config import ExperimentConfig, MethodSpec
 from repro.feast.instrumentation import PhaseTimings, TrialFailure
 from repro.feast.runner import ExperimentResult, TrialRecord
+from repro.obs.export import atomic_write_text
+
+#: Backward-compatible alias — the implementation moved to
+#: :func:`repro.obs.export.atomic_write_text` so the event log and the
+#: result store share one crash-safe writer.
+_atomic_write_text = atomic_write_text
 
 FORMAT = "repro-experiment-result"
 VERSION = 1
 
 CHECKPOINT_FORMAT = "repro-sweep-checkpoint"
 CHECKPOINT_VERSION = 1
-
-
-def _atomic_write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + fsync + replace).
-
-    Either the old content or the complete new content exists at ``path``
-    at every instant; a crash mid-write leaves the destination untouched
-    and no partial temp file behind.
-    """
-    path = os.path.abspath(path)
-    directory = os.path.dirname(path) or "."
-    fd, tmp = tempfile.mkstemp(
-        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as fp:
-            fp.write(text)
-            fp.flush()
-            os.fsync(fp.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:

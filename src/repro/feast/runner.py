@@ -46,6 +46,7 @@ from repro.errors import (
     ExperimentWarning,
     QuarantinedTrialError,
 )
+from repro.obs import runtime as obs
 from repro.feast.config import ExperimentConfig, MethodSpec, speeds_for
 from repro.feast.instrumentation import (
     Instrumentation,
@@ -373,52 +374,73 @@ def _run_serial(
     result = ExperimentResult(config=config, timings=inst.timings, jobs=1)
     inst.start(config.n_trials)
 
-    for scenario in config.scenarios:
-        graph_config = config.graph_config.with_scenario(scenario)
-        with inst.phase("generate"):
-            graphs = [
-                graph_for_trial(config, graph_config, scenario, i)
-                for i in range(config.n_graphs)
-            ]
-        # Distributions reusable across the size sweep (non-ADAPT methods),
-        # keyed by (method label, graph index).
-        reusable: Dict[object, DeadlineAssignment] = {}
-        for n_processors in config.system_sizes:
-            speeds = speeds_for(config.speed_profile, n_processors)
-            system = System(
-                n_processors,
-                interconnect=make_interconnect(config.topology, n_processors),
-                speeds=speeds,
-            )
-            total_capacity = float(sum(speeds))
-            for method in config.methods:
-                distributor = method.build()
-                for index, graph in enumerate(graphs):
-                    with inst.phase("distribute"):
-                        assignment = distribute_for_trial(
-                            method,
-                            distributor,
-                            graph,
-                            n_processors,
-                            total_capacity,
-                            reusable,
-                            (method.label, index),
-                        )
-                    with inst.phase("schedule"):
-                        metrics = run_trial(
-                            graph,
-                            assignment,
-                            system,
-                            policy_name=config.policy,
-                            respect_release_times=config.respect_release_times,
-                        )
-                    result.records.append(
-                        make_record(
-                            config, scenario, n_processors, method,
-                            index, assignment, metrics,
-                        )
+    with obs.activate(inst.telemetry), obs.toplevel_span(
+        "run", experiment=config.name, jobs=1, engine="serial"
+    ):
+        for scenario in config.scenarios:
+            graph_config = config.graph_config.with_scenario(scenario)
+            with obs.span("scenario", scenario=scenario):
+                with inst.phase("generate"):
+                    graphs = [
+                        graph_for_trial(config, graph_config, scenario, i)
+                        for i in range(config.n_graphs)
+                    ]
+                # Distributions reusable across the size sweep (non-ADAPT
+                # methods), keyed by (method label, graph index).
+                reusable: Dict[object, DeadlineAssignment] = {}
+                for n_processors in config.system_sizes:
+                    speeds = speeds_for(config.speed_profile, n_processors)
+                    system = System(
+                        n_processors,
+                        interconnect=make_interconnect(
+                            config.topology, n_processors
+                        ),
+                        speeds=speeds,
                     )
-                    inst.completed()
+                    total_capacity = float(sum(speeds))
+                    for method in config.methods:
+                        distributor = method.build()
+                        for index, graph in enumerate(graphs):
+                            with obs.span(
+                                "trial",
+                                scenario=scenario,
+                                index=index,
+                                n_processors=n_processors,
+                                method=method.label,
+                            ):
+                                began = time.perf_counter()
+                                with inst.phase("distribute"):
+                                    assignment = distribute_for_trial(
+                                        method,
+                                        distributor,
+                                        graph,
+                                        n_processors,
+                                        total_capacity,
+                                        reusable,
+                                        (method.label, index),
+                                    )
+                                obs.observe(
+                                    f"distribute.seconds.n{graph.n_subtasks}",
+                                    time.perf_counter() - began,
+                                )
+                                with inst.phase("schedule"):
+                                    metrics = run_trial(
+                                        graph,
+                                        assignment,
+                                        system,
+                                        policy_name=config.policy,
+                                        respect_release_times=(
+                                            config.respect_release_times
+                                        ),
+                                    )
+                                obs.count("engine.trials_measured")
+                            result.records.append(
+                                make_record(
+                                    config, scenario, n_processors, method,
+                                    index, assignment, metrics,
+                                )
+                            )
+                            inst.completed()
 
     if len(result.records) != config.n_trials:
         raise ExperimentError(
@@ -426,4 +448,5 @@ def _run_serial(
             f"records but planned {config.n_trials}"
         )
     result.elapsed_seconds = time.perf_counter() - started
+    inst.finish()
     return result

@@ -23,8 +23,10 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 from repro.errors import ExperimentError
 from repro.feast.config import ExperimentConfig
+from repro.feast.instrumentation import Instrumentation
 from repro.feast.runner import ExperimentResult, run_experiment
 from repro.graph.generator import RandomGraphConfig
+from repro.obs import Telemetry, write_events
 
 #: Fields that live on the nested RandomGraphConfig rather than the
 #: experiment config itself.
@@ -95,12 +97,59 @@ def _checkpoint_path(checkpoint_dir: str, config: ExperimentConfig) -> str:
     return os.path.join(checkpoint_dir, f"{config.name}.ckpt")
 
 
+def trace_path(trace_dir: str, config: ExperimentConfig) -> str:
+    """The event-log path of one config under ``trace_dir``."""
+    return os.path.join(trace_dir, f"{config.name}.events.jsonl")
+
+
+def run_summary(
+    result: ExperimentResult, inst: Instrumentation
+) -> Dict[str, Any]:
+    """The ``summary`` event of one finished run's event log."""
+    return {
+        "jobs": result.jobs,
+        "n_records": len(result.records),
+        "elapsed_seconds": result.elapsed_seconds,
+        "wall_elapsed_seconds": inst.wall_elapsed,
+        "phase_seconds_total": inst.timings.total,
+        "trials_replayed": inst.replayed_trials,
+        "retries": inst.retries,
+        "quarantined": inst.quarantined,
+        "pool_respawns": inst.pool_respawns,
+        "parallel_efficiency": inst.parallel_efficiency(result.jobs),
+    }
+
+
+def write_run_events(
+    path: str, result: ExperimentResult, inst: Instrumentation
+) -> List[Dict[str, Any]]:
+    """Write one traced run's event log (spans, metrics, resources,
+    failures, summary) to ``path`` and return the events.
+
+    ``inst`` must be the run's :class:`Instrumentation` and must carry
+    the :class:`~repro.obs.Telemetry` the run recorded into.
+    """
+    if inst.telemetry is None:
+        raise ExperimentError(
+            "cannot write an event log: the run's Instrumentation has no "
+            "Telemetry attached (pass Instrumentation(telemetry=Telemetry()))"
+        )
+    return write_events(
+        path,
+        inst.telemetry,
+        result.config.name,
+        summary=run_summary(result, inst),
+        failures=[f.as_dict() for f in result.failures],
+    )
+
+
 def run_experiments(
     configs: Sequence[ExperimentConfig],
     processes: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
     jobs: int = 1,
     checkpoint_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run many experiments, optionally in parallel worker processes.
 
@@ -121,6 +170,12 @@ def run_experiments(
     :func:`sweep_field`/:func:`sweep_grid` guarantee). Incompatible with
     ``processes > 1``.
 
+    ``trace_dir`` enables telemetry: each config records spans, metrics,
+    and resource samples and writes them to ``<dir>/<config
+    name>.events.jsonl`` (inspect with ``repro report`` / ``repro
+    trace``). Like checkpointing it needs the run to happen in this
+    process, so it is incompatible with ``processes > 1``.
+
     ``progress`` is called with (completed configs, total) — per-trial
     progress is only available through
     :func:`repro.feast.runner.run_experiment` directly.
@@ -137,17 +192,26 @@ def run_experiments(
             "checkpoint_dir requires the jobs axis (trial-level "
             "checkpointing); it cannot be combined with processes>1"
         )
+    if trace_dir is not None and processes > 1:
+        raise ExperimentError(
+            "trace_dir records telemetry in the parent process; it cannot "
+            "be combined with processes>1 (use the jobs axis instead)"
+        )
     configs = list(configs)
     if not configs:
         return []
-    if checkpoint_dir is not None:
+    if checkpoint_dir is not None or trace_dir is not None:
         names = [c.name for c in configs]
         if len(set(names)) != len(names):
             raise ExperimentError(
-                "checkpoint_dir needs unique config names, got duplicates: "
+                "checkpoint_dir/trace_dir need unique config names, got "
+                f"duplicates: "
                 f"{sorted(n for n in set(names) if names.count(n) > 1)}"
             )
+    if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     parallel = processes > 1 and all(
         c.graph_factory is None for c in configs
     )
@@ -166,7 +230,16 @@ def run_experiments(
             _checkpoint_path(checkpoint_dir, config)
             if checkpoint_dir is not None else None
         )
-        results.append(run_experiment(config, jobs=jobs, checkpoint=checkpoint))
+        inst = (
+            Instrumentation(telemetry=Telemetry())
+            if trace_dir is not None else None
+        )
+        result = run_experiment(
+            config, jobs=jobs, checkpoint=checkpoint, instrumentation=inst
+        )
+        if trace_dir is not None:
+            write_run_events(trace_path(trace_dir, config), result, inst)
+        results.append(result)
         if progress is not None:
             progress(index + 1, len(configs))
     return results

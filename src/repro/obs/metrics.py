@@ -1,0 +1,225 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds every metric of one process's view of a
+run. Registries are plain picklable data with a :meth:`merge` that is
+associative and commutative, so worker processes measure locally, ship
+their registry back with the chunk result, and the parent folds them
+all into one run-level registry:
+
+* **counters** sum (trials completed, cache hits, retries);
+* **gauges** keep the maximum (peak RSS, deepest search) — merging
+  process-local "latest value" gauges any other way would depend on
+  arrival order, which the engine deliberately randomizes;
+* **histograms** add bucket counts pointwise (they must share bucket
+  boundaries, which named constructors guarantee).
+
+Histogram buckets are fixed at observation time (Prometheus-style upper
+bounds plus an implicit +Inf overflow bucket); :data:`LATENCY_BUCKETS`
+covers the microseconds-to-minutes range the pipeline's phases span.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+#: Default bucket upper bounds (seconds) for phase/latency histograms.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default bucket upper bounds for count-valued histograms (nodes
+#: expanded, slices per distribution, ...).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max (picklable).
+
+    ``buckets`` are sorted upper bounds; ``counts`` has one extra slot
+    for the +Inf overflow bucket. ``counts[i]`` is the number of
+    observations ``v <= buckets[i]`` that fell past ``buckets[i-1]``
+    (bucketed, not cumulative).
+    """
+
+    buckets: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise ExperimentError("histogram needs at least one bucket")
+        if list(self.buckets) != sorted(self.buckets):
+            raise ExperimentError(
+                f"histogram buckets must be sorted, got {self.buckets}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+        elif len(self.counts) != len(self.buckets) + 1:
+            raise ExperimentError(
+                f"histogram needs {len(self.buckets) + 1} count slots "
+                f"(one per bucket + overflow), got {len(self.counts)}"
+            )
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.n += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ExperimentError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.n += other.n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.n,
+            "min": self.min if self.n else None,
+            "max": self.max if self.n else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        try:
+            hist = cls(
+                buckets=tuple(float(b) for b in data["buckets"]),
+                counts=[int(c) for c in data["counts"]],
+                total=float(data["sum"]),
+                n=int(data["count"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(f"malformed histogram: {exc}") from exc
+        hist.min = (
+            float(data["min"]) if data.get("min") is not None
+            else float("inf")
+        )
+        hist.max = (
+            float(data["max"]) if data.get("max") is not None
+            else float("-inf")
+        )
+        return hist
+
+
+@dataclass
+class MetricsRegistry:
+    """All counters, gauges, and histograms of one run (picklable)."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record gauge ``name``; merges keep the maximum."""
+        self.gauges[name] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Add one observation to histogram ``name``.
+
+        ``buckets`` fixes the boundaries on first use (default
+        :data:`LATENCY_BUCKETS`); later calls must agree or omit them.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            bounds = tuple(buckets) if buckets is not None else LATENCY_BUCKETS
+            hist = self.histograms[name] = Histogram(buckets=bounds)
+        elif buckets is not None and tuple(buckets) != hist.buckets:
+            raise ExperimentError(
+                f"histogram {name!r} already has buckets {hist.buckets}; "
+                f"cannot re-bucket to {tuple(buckets)}"
+            )
+        hist.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry (e.g. one worker chunk's) into this one."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            mine = self.gauges.get(name)
+            self.gauges[name] = value if mine is None else max(mine, value)
+        for name, hist in other.histograms.items():
+            mine_h = self.histograms.get(name)
+            if mine_h is None:
+                self.histograms[name] = Histogram(
+                    buckets=hist.buckets,
+                    counts=list(hist.counts),
+                    total=hist.total,
+                    n=hist.n,
+                )
+                self.histograms[name].min = hist.min
+                self.histograms[name].max = hist.max
+            else:
+                mine_h.merge(hist)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        try:
+            return cls(
+                counters={
+                    str(k): float(v)
+                    for k, v in data.get("counters", {}).items()
+                },
+                gauges={
+                    str(k): float(v)
+                    for k, v in data.get("gauges", {}).items()
+                },
+                histograms={
+                    str(k): Histogram.from_dict(v)
+                    for k, v in data.get("histograms", {}).items()
+                },
+            )
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"malformed metrics registry: {exc}"
+            ) from exc
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)

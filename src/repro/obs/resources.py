@@ -1,0 +1,116 @@
+"""Per-process resource sampling: RSS and CPU time, zero-dependency.
+
+Workers sample themselves around each chunk (:func:`sample_resources`
+before and after, :meth:`ResourceSample.delta` between) and ship the
+deltas back with the chunk result, so a run's event log answers "which
+worker burned the memory/CPU" without any external profiler. Sampling
+uses :mod:`resource` (``getrusage``) where available — every POSIX
+platform — and degrades to :func:`os.times` (CPU only, RSS reported as
+0) elsewhere, so importing this module never fails.
+
+``ru_maxrss`` is kilobytes on Linux and **bytes** on macOS; the sampler
+normalizes to kilobytes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ExperimentError
+
+try:  # POSIX
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _resource = None
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point-in-time resource reading of one process (picklable)."""
+
+    #: Epoch seconds when the sample was taken.
+    ts: float
+    #: Peak resident set size so far, kilobytes (0 when unavailable).
+    rss_max_kb: float
+    #: Cumulative user-mode CPU seconds.
+    cpu_user_s: float
+    #: Cumulative kernel-mode CPU seconds.
+    cpu_system_s: float
+    #: Process that took the sample.
+    pid: int
+
+    def delta(self, since: "ResourceSample") -> "ResourceSample":
+        """Resource use between ``since`` and this sample.
+
+        CPU times subtract; ``rss_max_kb`` is a high-water mark, so the
+        later (larger) reading is kept.
+        """
+        if since.pid != self.pid:
+            raise ExperimentError(
+                f"resource delta across processes ({since.pid} vs "
+                f"{self.pid}) is meaningless"
+            )
+        return ResourceSample(
+            ts=self.ts,
+            rss_max_kb=max(self.rss_max_kb, since.rss_max_kb),
+            cpu_user_s=self.cpu_user_s - since.cpu_user_s,
+            cpu_system_s=self.cpu_system_s - since.cpu_system_s,
+            pid=self.pid,
+        )
+
+    @property
+    def cpu_total_s(self) -> float:
+        return self.cpu_user_s + self.cpu_system_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ts": self.ts,
+            "rss_max_kb": self.rss_max_kb,
+            "cpu_user_s": self.cpu_user_s,
+            "cpu_system_s": self.cpu_system_s,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResourceSample":
+        try:
+            return cls(
+                ts=float(data["ts"]),
+                rss_max_kb=float(data["rss_max_kb"]),
+                cpu_user_s=float(data["cpu_user_s"]),
+                cpu_system_s=float(data["cpu_system_s"]),
+                pid=int(data["pid"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"malformed resource sample: {exc}"
+            ) from exc
+
+
+def sample_resources() -> ResourceSample:
+    """Sample this process's peak RSS and cumulative CPU time."""
+    now = time.time()
+    if _resource is not None:
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        rss_kb = float(usage.ru_maxrss)
+        if sys.platform == "darwin":  # bytes there, kilobytes elsewhere
+            rss_kb /= 1024.0
+        return ResourceSample(
+            ts=now,
+            rss_max_kb=rss_kb,
+            cpu_user_s=usage.ru_utime,
+            cpu_system_s=usage.ru_stime,
+            pid=os.getpid(),
+        )
+    times = os.times()  # pragma: no cover - non-POSIX fallback
+    return ResourceSample(
+        ts=now,
+        rss_max_kb=0.0,
+        cpu_user_s=times.user,
+        cpu_system_s=times.system,
+        pid=os.getpid(),
+    )

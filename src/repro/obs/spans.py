@@ -1,0 +1,184 @@
+"""Structured span tracing: nested, picklable timing spans.
+
+A :class:`Span` is one timed region of the pipeline — ``run``,
+``scenario``, ``chunk``, ``trial``, ``generate``/``distribute``/
+``schedule``, a branch-and-bound search — with a wall-clock start
+timestamp, a duration, free-form attributes, and child spans. Spans are
+plain picklable data: worker processes record them locally with a
+:class:`SpanRecorder`, ship the finished roots back alongside their
+chunk results, and the parent adopts them into its own tree
+(:meth:`SpanRecorder.adopt`), so one run yields one merged span forest
+regardless of how many processes produced it.
+
+Timestamps are epoch seconds (``time.time``) so spans recorded by
+different processes on the same machine line up on one timeline — the
+property the Chrome-trace export (:mod:`repro.obs.export`) relies on.
+Durations are measured with ``time.perf_counter`` for resolution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class Span:
+    """One timed region; a node of the span tree (picklable).
+
+    ``start`` is epoch seconds; ``duration`` is elapsed seconds (-1.0
+    while the span is still open). ``attrs`` carries scalar annotations
+    (counts, labels, resource numbers); ``pid`` records the process that
+    measured the span, which becomes the Chrome-trace track.
+    """
+
+    name: str
+    start: float
+    duration: float = -1.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    pid: int = field(default_factory=os.getpid)
+
+    @property
+    def closed(self) -> bool:
+        return self.duration >= 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attrs.update(attrs)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree, pre-order."""
+        return [s for s in self.walk() if s.name == name]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        try:
+            return cls(
+                name=str(data["name"]),
+                start=float(data["start"]),
+                duration=float(data["duration"]),
+                attrs=dict(data.get("attrs", {})),
+                pid=int(data.get("pid", 0)),
+                children=[
+                    cls.from_dict(c) for c in data.get("children", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(f"malformed span: {exc}") from exc
+
+
+class SpanRecorder:
+    """Records a forest of nested spans via a context-manager API.
+
+    One recorder instruments one process's view of one run. ``span()``
+    opens a child of the innermost open span (or a new root), times the
+    block, and closes it on exit — exceptions still close the span, with
+    an ``error`` attribute naming the exception type. ``adopt()`` grafts
+    spans recorded elsewhere (another process, a pickled payload) under
+    the innermost open span, which is how worker chunks merge into the
+    parent's ``run`` span.
+    """
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def open(self, name: str, **attrs: Any) -> Span:
+        """Open a span (prefer the :meth:`span` context manager)."""
+        span = Span(name=name, start=time.time(), attrs=dict(attrs))
+        span._began = time.perf_counter()  # type: ignore[attr-defined]
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def close(self, span: Span) -> None:
+        """Close ``span``; it must be the innermost open span."""
+        if not self._stack or self._stack[-1] is not span:
+            raise ExperimentError(
+                f"span {span.name!r} closed out of order; "
+                f"innermost open span is "
+                f"{self._stack[-1].name if self._stack else None!r}"
+            )
+        self._stack.pop()
+        began = getattr(span, "_began", None)
+        if began is not None:
+            span.duration = time.perf_counter() - began
+            del span._began  # keep the span picklable / comparable
+        else:
+            span.duration = max(0.0, time.time() - span.start)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Time a block as a span named ``name``."""
+        span = self.open(name, **attrs)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self.close(span)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the innermost open span (no-op if none)."""
+        if self._stack:
+            self._stack[-1].annotate(**attrs)
+
+    def adopt(self, spans: List[Span]) -> None:
+        """Graft externally recorded spans into this recorder's tree.
+
+        They become children of the innermost open span, or new roots if
+        nothing is open. The spans must be closed (a worker only ships
+        finished spans).
+        """
+        for span in spans:
+            if not span.closed:
+                raise ExperimentError(
+                    f"cannot adopt open span {span.name!r}"
+                )
+        target = self._stack[-1].children if self._stack else self.roots
+        target.extend(spans)
+
+    def finished(self) -> List[Span]:
+        """The recorded roots; raises if any span is still open."""
+        if self._stack:
+            raise ExperimentError(
+                "spans still open: "
+                + " > ".join(s.name for s in self._stack)
+            )
+        return list(self.roots)

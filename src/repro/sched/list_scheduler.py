@@ -36,6 +36,7 @@ from repro.core.pinning import validate_pins
 from repro.errors import SchedulingError
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.system import System
+from repro.obs import runtime as obs
 from repro.sched.bus import LinkTimelines
 from repro.sched.policies import EarliestDeadlineFirst, SelectionPolicy
 from repro.sched.schedule import Schedule, ScheduledMessage, ScheduledTask
@@ -107,6 +108,9 @@ class ListScheduler:
                 "scheduler finished with unplaced subtasks; "
                 "the task graph is corrupt"
             )
+        obs.count("list.schedules")
+        obs.count("list.tasks_placed", len(schedule.tasks))
+        obs.count("list.messages_placed", len(schedule.messages))
         return schedule
 
     # ------------------------------------------------------------------

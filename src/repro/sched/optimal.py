@@ -37,6 +37,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import budget as trial_budget
+from repro.obs import runtime as obs
+from repro.obs.metrics import COUNT_BUCKETS
 
 from repro.core.annotations import DeadlineAssignment
 from repro.core.pinning import validate_pins
@@ -68,6 +70,8 @@ class OptimalResult:
     #: True when a wall-clock deadline (``time_limit`` or the ambient
     #: trial budget) interrupted the search before it completed.
     timed_out: bool = False
+    #: Subtrees cut by the bound or the incumbent before expansion.
+    nodes_pruned: int = 0
 
 
 class BranchAndBoundScheduler:
@@ -124,6 +128,7 @@ class BranchAndBoundScheduler:
         self._wcet: List[Time] = index.wcet_array()
         self._topo: List[int] = index.topological_order()
         self._explored = 0
+        self._pruned = 0
         self._budget_exhausted = False
         self._timed_out = False
         # Effective wall-clock deadline: the tighter of the explicit
@@ -134,36 +139,49 @@ class BranchAndBoundScheduler:
             clock = own if clock is None else min(clock, own)
         self._clock_deadline = clock
 
-        incumbent = ListScheduler(self.system).schedule(graph, assignment)
-        self._best_lateness = self._lateness_of(incumbent)
-        self._best_choices: Optional[List[Tuple[int, ProcessorId]]] = None
+        with obs.span("bnb.search", n_subtasks=graph.n_subtasks) as sp:
+            incumbent = ListScheduler(self.system).schedule(graph, assignment)
+            self._best_lateness = self._lateness_of(incumbent)
+            self._best_choices: Optional[List[Tuple[int, ProcessorId]]] = None
 
-        pending = [index.in_degree_of(j) for j in range(n)]
-        ready = sorted(
-            (j for j in range(n) if pending[j] == 0),
-            key=lambda j: ids[j],
-        )
-        self._dfs(
-            ready=ready,
-            pending=pending,
-            finish=[0.0] * n,
-            placed=bytearray(n),
-            placement=[-1] * n,
-            proc_avail=[0.0] * self.system.n_processors,
-            current_lateness=float("-inf"),
-            choices=[],
-        )
+            pending = [index.in_degree_of(j) for j in range(n)]
+            ready = sorted(
+                (j for j in range(n) if pending[j] == 0),
+                key=lambda j: ids[j],
+            )
+            self._dfs(
+                ready=ready,
+                pending=pending,
+                finish=[0.0] * n,
+                placed=bytearray(n),
+                placement=[-1] * n,
+                proc_avail=[0.0] * self.system.n_processors,
+                current_lateness=float("-inf"),
+                choices=[],
+            )
 
-        if self._best_choices is None:
-            schedule = incumbent
-        else:
-            schedule = self._replay(self._best_choices)
+            if self._best_choices is None:
+                schedule = incumbent
+            else:
+                schedule = self._replay(self._best_choices)
+            if sp is not None:
+                sp.annotate(
+                    nodes_explored=self._explored,
+                    nodes_pruned=self._pruned,
+                    proven_optimal=not self._budget_exhausted,
+                    timed_out=self._timed_out,
+                )
+        obs.count("bnb.searches")
+        obs.count("bnb.nodes", self._explored)
+        obs.count("bnb.pruned", self._pruned)
+        obs.observe("bnb.nodes_explored", self._explored, buckets=COUNT_BUCKETS)
         return OptimalResult(
             schedule=schedule,
             max_lateness=self._lateness_of(schedule),
             nodes_explored=self._explored,
             proven_optimal=not self._budget_exhausted,
             timed_out=self._timed_out,
+            nodes_pruned=self._pruned,
         )
 
     # ------------------------------------------------------------------
@@ -256,11 +274,13 @@ class BranchAndBoundScheduler:
                 self._best_choices = list(choices)
             return
         if current_lateness >= self._best_lateness - EPS:
+            self._pruned += 1
             return
         if (
             max(current_lateness, self._completion_bound(placed, finish))
             >= self._best_lateness - EPS
         ):
+            self._pruned += 1
             return
 
         index = self._index
@@ -279,6 +299,7 @@ class BranchAndBoundScheduler:
                 end = start + self.system.execution_time(proc, node.wcet)
                 lateness = max(current_lateness, end - deadline[j])
                 if lateness >= self._best_lateness - EPS:
+                    self._pruned += 1
                     continue
                 # Apply.
                 finish[j] = end

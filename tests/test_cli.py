@@ -97,16 +97,30 @@ class TestCommands:
         assert serial_csv.read_text() == parallel_csv.read_text()
 
     def test_run_profile(self, capsys):
-        """--profile prints per-phase wall-clock timers."""
+        """--profile prints per-phase timers on stderr, keeping stdout
+        machine-readable."""
         code = main([
             "run", "figure5", "--graphs", "1", "--sizes", "2",
             "--jobs", "1", "--quiet", "--profile",
         ])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "phase profile (figure5)" in out
-        for phase in ("generate", "distribute", "schedule", "total"):
-            assert phase in out
+        captured = capsys.readouterr()
+        assert "phase profile (figure5)" in captured.err
+        for phase in ("generate", "distribute", "schedule", "total", "wall"):
+            assert phase in captured.err
+        assert "phase profile" not in captured.out
+
+    def test_progress_goes_to_stderr(self, capsys):
+        """Without --quiet, the running header and progress stay off
+        stdout."""
+        code = main([
+            "run", "figure5", "--graphs", "1", "--sizes", "2", "--jobs", "1",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "running figure5" in captured.err
+        assert "running figure5" not in captured.out
+        assert "scenario LDET" in captured.out
 
     def test_run_multi_config_experiment(self, capsys):
         code = main([
@@ -161,6 +175,77 @@ class TestCommands:
             "runs-ablation-release-greedy.json",
             "runs-ablation-release-tt.json",
         ]
+
+
+class TestTelemetryCommands:
+    BASE = ["run", "figure5", "--graphs", "1", "--sizes", "2", "--quiet"]
+
+    def test_trace_run_writes_event_log(self, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        assert main(self.BASE + ["--trace", str(traces)]) == 0
+        events_file = traces / "figure5.events.jsonl"
+        assert events_file.exists()
+        from repro.obs import read_events
+
+        events = read_events(str(events_file))
+        kinds = {e["kind"] for e in events}
+        assert {"header", "span", "metrics", "summary"} <= kinds
+        captured = capsys.readouterr()
+        assert str(events_file) in captured.err
+        assert str(events_file) not in captured.out
+
+    def test_report_renders_run(self, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        main(self.BASE + ["--trace", str(traces)])
+        capsys.readouterr()
+        events_file = str(traces / "figure5.events.jsonl")
+        assert main(["report", events_file]) == 0
+        out = capsys.readouterr().out
+        assert "run report: figure5" in out
+        assert "wall-clock elapsed" in out
+        assert "counters:" in out
+
+    def test_trace_converts_to_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        traces = tmp_path / "traces"
+        main(self.BASE + ["--trace", str(traces), "--jobs", "2"])
+        capsys.readouterr()
+        events_file = str(traces / "figure5.events.jsonl")
+        assert main(["trace", events_file]) == 0
+        out_path = str(traces / "figure5.trace.json")
+        assert "wrote" in capsys.readouterr().out
+        with open(out_path) as fp:
+            trace = json.load(fp)
+        assert trace["traceEvents"]
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "run" in names and "chunk" in names
+
+    def test_trace_explicit_output(self, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        main(self.BASE + ["--trace", str(traces)])
+        capsys.readouterr()
+        events_file = str(traces / "figure5.events.jsonl")
+        out_path = str(tmp_path / "custom.json")
+        assert main(["trace", events_file, "-o", out_path]) == 0
+        import os
+
+        assert os.path.exists(out_path)
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["report", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "figure5", "--trace", "traces/", "--no-color"]
+        )
+        assert args.trace == "traces/"
+        assert args.no_color is True
 
 
 class TestCheckpointFlags:

@@ -184,6 +184,24 @@ def test_experiment_records_bit_identical(jobs):
     assert fresh == golden
 
 
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_traced_experiment_records_bit_identical(jobs):
+    """Telemetry is observation only: a run with tracing enabled must
+    reproduce the frozen records exactly, serial and parallel."""
+    from repro.feast.instrumentation import Instrumentation
+    from repro.obs import Telemetry
+
+    golden = _load_golden()["experiment_records"]
+    inst = Instrumentation(telemetry=Telemetry())
+    result = run_experiment(_experiment_config(), jobs=jobs,
+                            instrumentation=inst)
+    fresh = [json.loads(json.dumps(r.as_dict())) for r in result.records]
+    assert fresh == golden
+    # And the run actually recorded something.
+    assert inst.telemetry.spans.finished()
+    assert inst.telemetry.metrics.counters
+
+
 def test_interrupted_checkpoint_resume_bit_identical(tmp_path):
     """A sweep interrupted mid-run and resumed from its checkpoint must
     reproduce the frozen records exactly — including the chunks that were

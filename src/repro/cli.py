@@ -195,6 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
         "replaced by .trace.json)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the pipeline against the qa oracles "
+        "and shrink any failure to a minimal reproducer",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--trials", type=int, default=100,
+        help="scenarios to run (default: 100)",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new trials after this much wall clock",
+    )
+    fuzz.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write shrunk reproducer JSON files into DIR",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-check one reproducer file instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
     demo = sub.add_parser(
         "demo", help="distribute and schedule one random graph, verbosely"
     )
@@ -434,6 +460,41 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.qa import FuzzConfig, check_pipeline, run_fuzz, scenario_from_dict
+
+    if args.replay is not None:
+        with open(args.replay, "r", encoding="utf-8") as fp:
+            data = json.load(fp)
+        graph, system, metric, estimator = scenario_from_dict(data)
+        report = check_pipeline(graph, system, metric, estimator=estimator)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    config = FuzzConfig(
+        seed=args.seed,
+        trials=args.trials,
+        time_budget=args.time_budget,
+        output_dir=args.out,
+    )
+
+    progress = None
+    if not args.quiet:
+        def progress(trial, failure):
+            if failure is not None:
+                print(f"  trial {trial}: FAIL", file=sys.stderr)
+            elif trial % 25 == 0:
+                print(f"  trial {trial}/{config.trials} ok", file=sys.stderr)
+
+    result = run_fuzz(config, progress=progress)
+    print(result.summary())
+    for failure in result.failures:
+        print(failure.shrunk_report.summary())
+    return 0 if result.ok else 1
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     graph = generate_task_graph(
         RandomGraphConfig(), rng=random.Random(args.seed)
@@ -550,6 +611,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_list()
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     if args.command == "demo":
         return cmd_demo(args)
     if args.command == "compare":

@@ -22,9 +22,10 @@ from repro.core.annotations import DeadlineAssignment
 from repro.errors import ValidationError
 from repro.graph import paths as graph_paths
 from repro.graph.taskgraph import TaskGraph
+from repro.types import TIME_EPS
 
-#: Numerical slack for float comparisons.
-EPS = 1e-6
+#: Numerical slack for float comparisons (the shared cross-layer tolerance).
+EPS = TIME_EPS
 
 
 @dataclass

@@ -37,10 +37,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.annotations import DeadlineAssignment, Window
 from repro.errors import ValidationError
 from repro.sched.schedule import Schedule
-from repro.types import NodeId, ProcessorId, Time
+from repro.types import TIME_EPS, NodeId, ProcessorId, Time
 
-#: Numerical slack for float comparisons.
-EPS = 1e-6
+#: Numerical slack for float comparisons (the shared cross-layer tolerance).
+EPS = TIME_EPS
 
 
 @dataclass(frozen=True)

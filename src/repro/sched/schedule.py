@@ -15,10 +15,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import SchedulingError, UnknownNodeError
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.system import System
-from repro.types import EdgeId, NodeId, ProcessorId, Time
+from repro.types import TIME_EPS, EdgeId, NodeId, ProcessorId, Time
 
-#: Numerical slack for float comparisons.
-EPS = 1e-6
+#: Numerical slack for float comparisons (the shared cross-layer tolerance).
+EPS = TIME_EPS
 
 
 @dataclass(frozen=True)

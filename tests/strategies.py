@@ -1,0 +1,116 @@
+"""Shared hypothesis strategies for seeded random workloads.
+
+The property-test modules all need the same three inputs — a generator
+configuration spanning the paper's parameter space, a graph produced by
+the library's own generator, and a raw hand-anchored DAG built
+edge-by-edge — and had grown private copies of each. They live here once,
+seeded and shrinkable, together with the shared hypothesis settings.
+
+Everything routes randomness through drawn integer seeds feeding
+``random.Random``, so hypothesis can shrink a failing workload to a
+smaller seed and examples replay deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.graph import RandomGraphConfig, generate_task_graph
+from repro.graph.taskgraph import TaskGraph
+
+#: Execution-time deviations of the paper's LDET / MDET / HDET scenarios.
+DEVIATIONS = (0.25, 0.5, 0.99)
+
+
+def default_settings(max_examples: int = 25) -> settings:
+    """The suite's standard profile: seeded workloads are slow to build,
+    so the per-example deadline is off and ``too_slow`` is suppressed."""
+    return settings(
+        max_examples=max_examples,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+
+@st.composite
+def small_graph_configs(draw) -> RandomGraphConfig:
+    """Generator configurations over the paper's Section 5.2 space,
+    scaled down to graphs small enough for exhaustive checking."""
+    n_lo = draw(st.integers(min_value=5, max_value=15))
+    n_hi = n_lo + draw(st.integers(min_value=0, max_value=10))
+    d_lo = draw(st.integers(min_value=2, max_value=4))
+    # Every drawn depth must be placeable for every drawn subtask count.
+    d_hi = d_lo + draw(st.integers(min_value=0, max_value=max(0, n_lo - d_lo)))
+    d_hi = min(d_hi, n_lo)
+    return RandomGraphConfig(
+        n_subtasks_range=(n_lo, n_hi),
+        depth_range=(d_lo, d_hi),
+        execution_time_deviation=draw(st.sampled_from(DEVIATIONS)),
+        overall_laxity_ratio=draw(st.sampled_from([1.1, 1.5, 3.0])),
+        communication_to_computation_ratio=draw(
+            st.sampled_from([0.0, 0.5, 1.0, 2.0])
+        ),
+        olr_basis=draw(st.sampled_from(["graph-workload", "path-workload"])),
+    )
+
+
+@st.composite
+def generated_graphs(draw, config_strategy=None) -> TaskGraph:
+    """A graph from the library's own generator under a drawn config."""
+    config = draw(
+        config_strategy if config_strategy is not None
+        else small_graph_configs()
+    )
+    seed = draw(st.integers(0, 10_000))
+    return generate_task_graph(config, rng=random.Random(seed))
+
+
+@st.composite
+def workloads(draw) -> TaskGraph:
+    """The extension modules' workload: a compact generated graph with
+    varied deviation and CCR (fixed shape bracket)."""
+    config = RandomGraphConfig(
+        n_subtasks_range=(6, 16),
+        depth_range=(2, 5),
+        execution_time_deviation=draw(st.sampled_from(DEVIATIONS)),
+        communication_to_computation_ratio=draw(
+            st.sampled_from([0.0, 1.0, 2.0])
+        ),
+    )
+    seed = draw(st.integers(0, 100_000))
+    return generate_task_graph(config, rng=random.Random(seed))
+
+
+@st.composite
+def raw_dags(draw) -> TaskGraph:
+    """A DAG built edge-by-edge (forward edges only), anchored by hand.
+
+    Unlike :func:`generated_graphs` this is not constrained to the
+    generator's level structure, so it reaches shapes (isolated nodes,
+    long skip edges, arc-free graphs) the generator cannot emit.
+    """
+    n = draw(st.integers(min_value=2, max_value=12))
+    g = TaskGraph()
+    for i in range(n):
+        g.add_subtask(
+            f"n{i:02d}",
+            wcet=draw(st.floats(min_value=0.5, max_value=50.0, allow_nan=False)),
+        )
+    ids = g.node_ids()
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()) and draw(st.booleans()):
+                g.add_edge(
+                    ids[i],
+                    ids[j],
+                    message_size=draw(st.floats(min_value=0.0, max_value=30.0)),
+                )
+    deadline = 3.0 * g.total_workload() + 10.0
+    for node_id in g.input_subtasks():
+        g.node(node_id).release = 0.0
+    for node_id in g.output_subtasks():
+        g.node(node_id).end_to_end_deadline = deadline
+    return g

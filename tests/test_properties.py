@@ -14,79 +14,17 @@ assert the invariants that must hold for *every* input:
 
 import random
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import ast, bst, validate_assignment
-from repro.graph import RandomGraphConfig, generate_task_graph
-from repro.graph.taskgraph import TaskGraph
+from repro.graph import generate_task_graph
 from repro.machine import System, make_interconnect
 from repro.sched import ListScheduler
 from repro.sched.bus import LinkTimeline
+from tests.strategies import default_settings, raw_dags, small_graph_configs
 
-SETTINGS = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-
-# ----------------------------------------------------------------------
-# Strategies
-# ----------------------------------------------------------------------
-@st.composite
-def small_graph_configs(draw):
-    n_lo = draw(st.integers(min_value=5, max_value=15))
-    n_hi = n_lo + draw(st.integers(min_value=0, max_value=10))
-    d_lo = draw(st.integers(min_value=2, max_value=4))
-    # Every drawn depth must be placeable for every drawn subtask count.
-    d_hi = d_lo + draw(st.integers(min_value=0, max_value=max(0, n_lo - d_lo)))
-    d_hi = min(d_hi, n_lo)
-    return RandomGraphConfig(
-        n_subtasks_range=(n_lo, n_hi),
-        depth_range=(d_lo, d_hi),
-        execution_time_deviation=draw(
-            st.sampled_from([0.25, 0.5, 0.99])
-        ),
-        overall_laxity_ratio=draw(st.sampled_from([1.1, 1.5, 3.0])),
-        communication_to_computation_ratio=draw(
-            st.sampled_from([0.0, 0.5, 1.0, 2.0])
-        ),
-        olr_basis=draw(
-            st.sampled_from(["graph-workload", "path-workload"])
-        ),
-    )
-
-
-@st.composite
-def raw_dags(draw):
-    """A DAG built edge-by-edge (forward edges only), anchored by hand."""
-    n = draw(st.integers(min_value=2, max_value=12))
-    g = TaskGraph()
-    for i in range(n):
-        g.add_subtask(
-            f"n{i:02d}",
-            wcet=draw(
-                st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
-            ),
-        )
-    ids = g.node_ids()
-    for j in range(1, n):
-        for i in range(j):
-            if draw(st.booleans()) and draw(st.booleans()):
-                g.add_edge(
-                    ids[i],
-                    ids[j],
-                    message_size=draw(
-                        st.floats(min_value=0.0, max_value=30.0)
-                    ),
-                )
-    deadline = 3.0 * g.total_workload() + 10.0
-    for node_id in g.input_subtasks():
-        g.node(node_id).release = 0.0
-    for node_id in g.output_subtasks():
-        g.node(node_id).end_to_end_deadline = deadline
-    return g
+SETTINGS = default_settings(max_examples=25)
 
 
 # ----------------------------------------------------------------------

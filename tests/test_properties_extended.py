@@ -4,15 +4,12 @@ Covers the invariants of the baselines, the run-time simulator, the
 sensitivity analysis and the graph transformations on arbitrary workloads.
 """
 
-import random
-
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.baselines import BASELINES, make_baseline
 from repro.core.sensitivity import per_subtask_margins, window_scaling_factor
 from repro.core.slicer import bst
-from repro.graph import RandomGraphConfig, generate_task_graph
 from repro.graph.transform import merge_chains, relabel, scale_workload
 from repro.machine.system import System
 from repro.sched.list_scheduler import ListScheduler
@@ -22,26 +19,9 @@ from repro.sched.simulator import (
     simulate_dynamic,
     simulate_fixed,
 )
+from tests.strategies import default_settings, workloads
 
-SETTINGS = settings(
-    max_examples=20,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-
-
-@st.composite
-def workloads(draw):
-    config = RandomGraphConfig(
-        n_subtasks_range=(6, 16),
-        depth_range=(2, 5),
-        execution_time_deviation=draw(st.sampled_from([0.25, 0.5, 0.99])),
-        communication_to_computation_ratio=draw(
-            st.sampled_from([0.0, 1.0, 2.0])
-        ),
-    )
-    seed = draw(st.integers(0, 100_000))
-    return generate_task_graph(config, rng=random.Random(seed))
+SETTINGS = default_settings(max_examples=20)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,291 @@
+"""Differential tests: production implementations vs the qa oracles."""
+
+import random
+
+import pytest
+
+from repro.core import validate_assignment
+from repro.core.slicer import ast, bst
+from repro.errors import SchedulingError
+from repro.graph import RandomGraphConfig, generate_task_graph, graph_stats
+from repro.graph import paths as graph_paths
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.system import System
+from repro.machine.topology import IdealNetwork
+from repro.qa import (
+    ExhaustiveScheduler,
+    oracle_average_parallelism,
+    oracle_graph_depth,
+    oracle_longest_path_length,
+    oracle_validate_assignment,
+    replay_schedule,
+)
+from repro.sched.analysis import max_lateness
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.optimal import BranchAndBoundScheduler
+from repro.sched.schedule import ScheduledTask
+
+
+def _corpus(count=8, **overrides):
+    config = RandomGraphConfig(
+        n_subtasks_range=overrides.pop("n_subtasks_range", (8, 20)),
+        depth_range=overrides.pop("depth_range", (3, 5)),
+        **overrides,
+    )
+    return [
+        generate_task_graph(config, rng=random.Random(seed))
+        for seed in range(count)
+    ]
+
+
+class TestAnalysisOracles:
+    def test_longest_path_matches_indexed(self):
+        for graph in _corpus():
+            assert oracle_longest_path_length(graph) == pytest.approx(
+                graph_paths.longest_path_length(graph)
+            )
+            assert oracle_longest_path_length(
+                graph, include_messages=True
+            ) == pytest.approx(
+                graph_paths.longest_path_length(graph, include_messages=True)
+            )
+
+    def test_depth_matches_indexed(self):
+        for graph in _corpus():
+            assert oracle_graph_depth(graph) == graph_paths.graph_depth(graph)
+
+    def test_parallelism_matches_stats(self):
+        for graph in _corpus():
+            assert oracle_average_parallelism(graph) == pytest.approx(
+                graph_stats(graph).average_parallelism
+            )
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        g = TaskGraph()
+        n = 3000
+        for i in range(n):
+            g.add_subtask(f"c{i:04d}", wcet=1.0)
+        for i in range(n - 1):
+            g.add_edge(f"c{i:04d}", f"c{i + 1:04d}")
+        assert oracle_longest_path_length(g) == pytest.approx(float(n))
+        assert oracle_graph_depth(g) == n
+
+
+class TestAssignmentOracle:
+    def test_agrees_with_validator_on_feasible_assignments(self):
+        for graph in _corpus(count=6):
+            assignment = bst("PURE", "CCAA").distribute(graph)
+            if assignment.degenerate_windows():
+                continue
+            report = validate_assignment(assignment, check_paths=True)
+            assert report.ok
+            assert oracle_validate_assignment(assignment) == []
+
+    def test_flags_tampered_window(self, chain_graph):
+        assignment = bst("PURE", "CCNE").distribute(chain_graph)
+        w = assignment.windows["b"]
+        # Slide b's window past c's release: a precedence violation.
+        assignment.windows["b"] = type(w)(
+            release=w.release,
+            absolute_deadline=w.absolute_deadline + 500.0,
+            cost=w.cost,
+        )
+        violations = oracle_validate_assignment(assignment)
+        assert any("consumer releases before" in v for v in violations)
+        # Path sums blew past the end-to-end budget too.
+        assert any("budget" in v for v in violations)
+
+    def test_flags_missing_window(self, chain_graph):
+        assignment = bst("PURE", "CCNE").distribute(chain_graph)
+        del assignment.windows["b"]
+        violations = oracle_validate_assignment(assignment)
+        assert violations == ["missing window for 'b'"]
+
+
+def _small_corpus():
+    """Seeded graphs of at most 8 subtasks, with real precedence depth
+    (keeps the number of linear extensions enumerable)."""
+    graphs = []
+    for seed in range(6):
+        n_hi = 5 + seed % 3
+        graphs.append(
+            generate_task_graph(
+                RandomGraphConfig(
+                    n_subtasks_range=(4, n_hi),
+                    depth_range=(3, 4),
+                    communication_to_computation_ratio=(seed % 3) * 0.5,
+                    overall_laxity_ratio=1.0 + 0.4 * (seed % 2),
+                ),
+                rng=random.Random(seed),
+                name=f"small-{seed}",
+            )
+        )
+    # Hand-built 8-subtask shapes: a chain and a double diamond.
+    chain = TaskGraph(name="chain-8")
+    for i in range(8):
+        chain.add_subtask(f"c{i}", wcet=float(i + 1))
+    for i in range(7):
+        chain.add_edge(f"c{i}", f"c{i + 1}", message_size=2.0)
+    chain.node("c0").release = 0.0
+    chain.node("c7").end_to_end_deadline = 40.0
+    graphs.append(chain)
+
+    dd = TaskGraph(name="double-diamond-8")
+    for nid, w in [("a", 2.0), ("b", 3.0), ("c", 5.0), ("d", 1.0),
+                   ("e", 4.0), ("f", 2.0), ("g", 3.0), ("h", 1.0)]:
+        dd.add_subtask(nid, wcet=w)
+    for src, dst in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"),
+                     ("d", "e"), ("d", "f"), ("e", "g"), ("f", "g"),
+                     ("g", "h")]:
+        dd.add_edge(src, dst, message_size=1.5)
+    dd.node("a").release = 0.0
+    dd.node("h").end_to_end_deadline = 30.0
+    graphs.append(dd)
+    return graphs
+
+
+class TestExhaustiveScheduler:
+    def test_agrees_with_branch_and_bound(self):
+        """Acceptance criterion: on a seeded corpus of <=8-subtask graphs
+        the exhaustive enumeration and the pruned search agree on the
+        optimal max lateness, and the replay checker accepts every
+        emitted schedule."""
+        metrics = ["PURE", "NORM", "THRES", "ADAPT"]
+        system = System(2, interconnect=IdealNetwork(2))
+        checked = 0
+        for i, graph in enumerate(_small_corpus()):
+            metric = metrics[i % len(metrics)]
+            distributor = (
+                ast(metric) if metric in ("THRES", "ADAPT") else
+                bst(metric, "CCNE")
+            )
+            assignment = distributor.distribute(graph, n_processors=2)
+
+            listed = ListScheduler(system).schedule(graph, assignment)
+            assert replay_schedule(listed, assignment).ok
+
+            bnb = BranchAndBoundScheduler(system).schedule(graph, assignment)
+            assert replay_schedule(bnb.schedule, assignment).ok
+            if not bnb.proven_optimal:
+                continue
+            exhaustive = ExhaustiveScheduler(system).min_max_lateness(
+                graph, assignment
+            )
+            assert exhaustive.n_complete_schedules > 0
+            assert bnb.max_lateness == pytest.approx(
+                exhaustive.max_lateness, abs=1e-6
+            ), graph.name
+            checked += 1
+        assert checked >= 6  # the corpus must actually exercise the oracle
+
+    def test_rebuilds_contended_system_as_ideal(self, chain_graph):
+        assignment = bst("PURE", "CCNE").distribute(chain_graph)
+        contended = ExhaustiveScheduler(System(2))  # default bus
+        ideal = ExhaustiveScheduler(System(2, interconnect=IdealNetwork(2)))
+        assert contended.min_max_lateness(
+            chain_graph, assignment
+        ).max_lateness == pytest.approx(
+            ideal.min_max_lateness(chain_graph, assignment).max_lateness
+        )
+
+    def test_honours_pins(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=5.0, release=0.0,
+                      end_to_end_deadline=20.0, pinned_to=1)
+        g.add_subtask("b", wcet=5.0, release=0.0,
+                      end_to_end_deadline=20.0, pinned_to=1)
+        g.add_subtask("c", wcet=5.0, release=0.0, end_to_end_deadline=20.0)
+        assignment = bst("PURE", "CCNE").distribute(g)
+        result = ExhaustiveScheduler(
+            System(2, interconnect=IdealNetwork(2))
+        ).min_max_lateness(g, assignment)
+        # a and b serialize on processor 1; c runs alone: lateness 10-20.
+        assert result.max_lateness == pytest.approx(-10.0)
+
+    def test_refuses_oversized_graphs(self):
+        g = TaskGraph()
+        for i in range(9):
+            g.add_subtask(f"n{i}", wcet=1.0, release=0.0,
+                          end_to_end_deadline=100.0)
+        assignment = bst("PURE", "CCNE").distribute(g)
+        with pytest.raises(SchedulingError, match="limited to 8"):
+            ExhaustiveScheduler(System(2)).min_max_lateness(g, assignment)
+
+
+class TestReplayChecker:
+    def _schedule(self, graph, n_processors=2):
+        assignment = bst("PURE", "CCAA").distribute(graph)
+        system = System(n_processors)
+        return assignment, ListScheduler(system).schedule(graph, assignment)
+
+    def test_accepts_scheduler_output(self, diamond_graph):
+        assignment, schedule = self._schedule(diamond_graph)
+        report = replay_schedule(schedule, assignment)
+        assert report.ok, report.violations
+        assert report.max_lateness == pytest.approx(
+            max_lateness(schedule, assignment)
+        )
+
+    def test_detects_processor_overlap(self, diamond_graph):
+        _, schedule = self._schedule(diamond_graph, n_processors=1)
+        victim = max(schedule.tasks.values(), key=lambda t: t.start)
+        schedule.tasks[victim.node_id] = ScheduledTask(
+            node_id=victim.node_id,
+            processor=victim.processor,
+            start=0.0,
+            finish=victim.duration,
+        )
+        report = replay_schedule(schedule)
+        assert any("overlap on processor" in v for v in report.violations)
+
+    def test_detects_precedence_break(self, chain_graph):
+        _, schedule = self._schedule(chain_graph, n_processors=1)
+        last = schedule.tasks["c"]
+        schedule.tasks["c"] = ScheduledTask(
+            node_id="c", processor=last.processor,
+            start=0.0, finish=last.duration,
+        )
+        report = replay_schedule(schedule)
+        assert any(
+            "starts before its input" in v for v in report.violations
+        )
+
+    def test_detects_corrupted_hop_duration(self):
+        g = TaskGraph()  # pins force a real cross-processor transfer
+        g.add_subtask("a", wcet=4.0, release=0.0, pinned_to=0)
+        g.add_subtask("b", wcet=4.0, end_to_end_deadline=50.0, pinned_to=1)
+        g.add_edge("a", "b", message_size=6.0)
+        _, schedule = self._schedule(g, n_processors=2)
+        crossing = [e for e, m in schedule.messages.items() if m.hops]
+        assert crossing
+        edge = crossing[0]
+        message = schedule.messages[edge]
+        hop = message.hops[0]
+        schedule.messages[edge] = type(message)(
+            src=message.src, dst=message.dst,
+            src_processor=message.src_processor,
+            dst_processor=message.dst_processor,
+            size=message.size,
+            hops=(type(hop)(hop.link, hop.start, hop.finish + 7.0),)
+            + message.hops[1:],
+        )
+        report = replay_schedule(schedule)
+        assert any("cost model says" in v for v in report.violations)
+
+    def test_detects_pin_violation(self):
+        g = TaskGraph()
+        g.add_subtask("a", wcet=5.0, release=0.0,
+                      end_to_end_deadline=20.0, pinned_to=0)
+        assignment = bst("PURE", "CCNE").distribute(g)
+        schedule = ListScheduler(System(2)).schedule(g, assignment)
+        schedule.tasks["a"] = ScheduledTask(
+            node_id="a", processor=1, start=0.0, finish=5.0
+        )
+        report = replay_schedule(schedule)
+        assert any("violates its pin" in v for v in report.violations)
+
+    def test_detects_missing_subtask(self, chain_graph):
+        _, schedule = self._schedule(chain_graph)
+        del schedule.tasks["b"]
+        report = replay_schedule(schedule)
+        assert report.violations == ["subtask 'b' never scheduled"]

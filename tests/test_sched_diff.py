@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.annotations import DeadlineAssignment, Window
 from repro.core.slicer import ast, bst
 from repro.errors import ValidationError
 from repro.graph import RandomGraphConfig, generate_task_graph
@@ -10,6 +11,7 @@ from repro.machine.system import System
 from repro.machine.topology import IdealNetwork
 from repro.sched.diff import diff_schedules
 from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import Schedule, ScheduledTask
 
 
 import random
@@ -87,3 +89,103 @@ class TestDiff:
         diff = diff_schedules(two, pinned)
         assert len(diff.migrations) == 1  # b moved from P1 to P0
         assert diff.migrations[0].node_id == "b"
+
+
+def _two_task_graph():
+    g = TaskGraph(name="ab")
+    g.add_subtask("a", wcet=10.0, release=0.0, end_to_end_deadline=100.0)
+    g.add_subtask("b", wcet=10.0, release=0.0, end_to_end_deadline=100.0)
+    return g
+
+
+def _hand_schedule(graph, placements):
+    """A Schedule built directly from (node, proc, start, finish) rows."""
+    schedule = Schedule(graph, System(2, interconnect=IdealNetwork(2)))
+    for node_id, proc, start, finish in placements:
+        schedule.place_task(
+            ScheduledTask(
+                node_id=node_id, processor=proc, start=start, finish=finish
+            )
+        )
+    return schedule
+
+
+class TestDiffExactFields:
+    """Hand-built schedules with every TaskDelta field pinned exactly."""
+
+    def test_migration_delta_fields(self):
+        graph = _two_task_graph()
+        before = _hand_schedule(
+            graph, [("a", 0, 0.0, 10.0), ("b", 1, 0.0, 10.0)]
+        )
+        after = _hand_schedule(
+            graph, [("a", 0, 0.0, 10.0), ("b", 0, 10.0, 20.0)]
+        )
+        diff = diff_schedules(before, after)
+
+        assert [d.node_id for d in diff.deltas] == ["a", "b"]  # sorted
+        a, b = diff.deltas
+        assert (a.processor_before, a.processor_after) == (0, 0)
+        assert (a.start_delta, a.finish_delta) == (0.0, 0.0)
+        assert not a.migrated
+        assert (b.processor_before, b.processor_after) == (1, 0)
+        assert (b.start_delta, b.finish_delta) == (10.0, 10.0)
+        assert b.migrated
+        assert diff.migrations == [b]
+        assert diff.makespan_before == 10.0
+        assert diff.makespan_after == 20.0
+        assert diff.makespan_delta == 10.0
+        assert diff.communication_delta == 0.0
+
+    def test_identical_hand_schedules_have_empty_delta(self):
+        graph = _two_task_graph()
+        rows = [("a", 0, 0.0, 10.0), ("b", 1, 2.0, 12.0)]
+        diff = diff_schedules(
+            _hand_schedule(graph, rows), _hand_schedule(graph, rows)
+        )
+        assert diff.migrations == []
+        assert all(
+            (d.start_delta, d.finish_delta) == (0.0, 0.0)
+            for d in diff.deltas
+        )
+        assert diff.makespan_delta == 0.0
+        # Without assignments the lateness side stays unset entirely.
+        assert diff.max_lateness_before is None
+        assert diff.max_lateness_after is None
+        assert diff.bottleneck_before is None
+
+    def test_bottleneck_and_lateness_from_assignments(self):
+        graph = _two_task_graph()
+        assignment = DeadlineAssignment(
+            graph=graph, metric_name="X", comm_strategy_name="Y",
+            windows={
+                "a": Window(release=0.0, absolute_deadline=15.0, cost=10.0),
+                "b": Window(release=0.0, absolute_deadline=30.0, cost=10.0),
+            },
+            message_windows={},
+        )
+        before = _hand_schedule(
+            graph, [("a", 0, 0.0, 10.0), ("b", 1, 0.0, 10.0)]
+        )
+        after = _hand_schedule(
+            graph, [("a", 0, 10.0, 20.0), ("b", 1, 0.0, 10.0)]
+        )
+        diff = diff_schedules(before, after, assignment, assignment)
+        # before: lateness a = -5, b = -20 -> bottleneck a at -5.
+        assert diff.bottleneck_before == "a"
+        assert diff.max_lateness_before == pytest.approx(-5.0)
+        # after: a finishes at 20 -> lateness +5, still the bottleneck.
+        assert diff.bottleneck_after == "a"
+        assert diff.max_lateness_after == pytest.approx(5.0)
+        assert "max lateness" in diff.summary()
+
+    def test_subset_subtask_sets_rejected(self):
+        graph = _two_task_graph()
+        full = _hand_schedule(
+            graph, [("a", 0, 0.0, 10.0), ("b", 1, 0.0, 10.0)]
+        )
+        partial = _hand_schedule(graph, [("a", 0, 0.0, 10.0)])
+        with pytest.raises(ValidationError, match="different subtask sets"):
+            diff_schedules(full, partial)
+        with pytest.raises(ValidationError, match="different subtask sets"):
+            diff_schedules(partial, full)

@@ -117,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the experiment's, normally 2)",
     )
     run.add_argument(
+        "--batch", action="store_true",
+        help="evaluate the distribute phase through the vectorized "
+        "batch kernel (bit-identical records; unsupported methods "
+        "fall back to the scalar path)",
+    )
+    run.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="journal completed work to PATH; pass --resume to continue "
         "an interrupted sweep from it",
@@ -215,7 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--replay", default=None, metavar="FILE",
-        help="re-check one reproducer file instead of fuzzing",
+        help="re-check one reproducer file instead of fuzzing (same "
+        "check gating as the live campaign)",
+    )
+    fuzz.add_argument(
+        "--batch", action="store_true",
+        help="also differential-check every distribution against the "
+        "vectorized batch kernel",
     )
     fuzz.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
@@ -353,6 +365,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         overrides["trial_timeout"] = args.trial_timeout
     if args.retries is not None:
         overrides["max_retries"] = args.retries
+    if args.batch:
+        overrides["batch"] = True
     if overrides:
         configs = [dataclasses.replace(c, **overrides) for c in configs]
 
@@ -463,13 +477,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     import json
 
-    from repro.qa import FuzzConfig, check_pipeline, run_fuzz, scenario_from_dict
+    from repro.qa import FuzzConfig, replay_reproducer, run_fuzz
 
     if args.replay is not None:
         with open(args.replay, "r", encoding="utf-8") as fp:
             data = json.load(fp)
-        graph, system, metric, estimator = scenario_from_dict(data)
-        report = check_pipeline(graph, system, metric, estimator=estimator)
+        report = replay_reproducer(
+            data, config=FuzzConfig(use_batch=args.batch)
+        )
         print(report.summary())
         return 0 if report.ok else 1
 
@@ -478,6 +493,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         trials=args.trials,
         time_budget=args.time_budget,
         output_dir=args.out,
+        use_batch=args.batch,
     )
 
     progress = None

@@ -178,6 +178,23 @@ class ThresholdLaxityRatio(PureLaxityRatio):
             return node.cost * (1.0 + self._effective_surplus)
         return node.cost
 
+    @property
+    def effective_threshold(self) -> Time:
+        """The ``c_thres`` in effect after :meth:`prepare`.
+
+        Exposed for the vectorized batch kernel, which snapshots the
+        prepared state into flat arrays (see :mod:`repro.core.batch`).
+        """
+        assert self._effective_threshold is not None, (
+            "metric used before prepare(); the slicer always prepares"
+        )
+        return self._effective_threshold
+
+    @property
+    def effective_surplus(self) -> float:
+        """The Δ in effect after :meth:`prepare` (ADAPT: ξ / N_proc)."""
+        return self._effective_surplus
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(surplus={self.surplus}, "
@@ -238,11 +255,6 @@ class AdaptiveLaxityRatio(ThresholdLaxityRatio):
             # Without capacity information fall back to the count — the
             # homogeneous unit-speed assumption, where both coincide.
         self._effective_surplus = context.average_parallelism / divisor
-
-    @property
-    def effective_surplus(self) -> float:
-        """The Δ in effect after :meth:`prepare` (ξ / N_proc)."""
-        return self._effective_surplus
 
 
 def make_metric(name: str, **kwargs) -> SlicingMetric:

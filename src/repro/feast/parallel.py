@@ -101,6 +101,7 @@ from repro.feast.runner import (
     distribute_for_trial,
     graph_for_trial,
     make_record,
+    prefetch_distributions,
     run_trial,
 )
 from repro.machine.system import System
@@ -237,7 +238,9 @@ def run_chunk(
 
     Mirrors the serial loop's per-graph work exactly: same seeds, same
     distribution reuse, same metrics — only the loop nesting differs,
-    which the parent undoes when reassembling. Each (size × method)
+    which the parent undoes when reassembling. ``config.batch`` prefetches
+    the chunk's distributions through the batch kernel first, exactly as
+    the serial loop does per scenario (bit-identical records either way). Each (size × method)
     trial runs under a cooperative wall-clock budget of
     ``trial_timeout`` seconds (default: the config's); a trial that
     completes past its budget is kept but flagged with a ``slow-trial``
@@ -270,6 +273,12 @@ def run_chunk(
                 method.label: method.build() for method in config.methods
             }
             reusable: Dict[object, object] = {}
+            prefetched: Optional[Dict[object, object]] = None
+            if config.batch:
+                with inst.phase("distribute"):
+                    prefetched = prefetch_distributions(
+                        config, [graph], reusable, indices=[spec.index]
+                    )
             for n_processors in config.system_sizes:
                 speeds = speeds_for(config.speed_profile, n_processors)
                 system = System(
@@ -293,7 +302,8 @@ def run_chunk(
                                 n_processors,
                                 total_capacity,
                                 reusable,
-                                method.label,
+                                (method.label, spec.index),
+                                prefetched,
                             )
                         obs.observe(
                             f"distribute.seconds.n{graph.n_subtasks}",

@@ -12,7 +12,8 @@ insertion order, CSR-style successor/predecessor arrays (with a parallel
 edge-index array for O(1) message access per arc), and lazily cached
 topological order and depths. It is built once per :class:`TaskGraph` via
 :meth:`TaskGraph.index() <repro.graph.taskgraph.TaskGraph.index>` and
-invalidated by structural mutation (``add_subtask`` / ``add_edge``).
+invalidated by structural mutation (``add_subtask`` / ``add_edge`` /
+``remove_subtask`` / ``remove_edge``).
 
 Cache ownership (see DESIGN.md §"Indexed graph core"):
 

@@ -52,9 +52,11 @@ class TaskGraph:
     def _invalidate_caches(self) -> None:
         """Drop every derived structure after a structural mutation.
 
-        Called by ``add_subtask`` and ``add_edge``; anything that caches a
+        Called by every structural mutator (``add_subtask`` / ``add_edge``
+        / ``remove_subtask`` / ``remove_edge``); anything that caches a
         compiled view of the graph (topological order, :class:`GraphIndex`
-        and the overlay caches hanging off it) must be dropped here, or a
+        and the overlay caches hanging off it — expanded graphs and their
+        batch-kernel views) must be dropped here, or a
         mutation-after-query would silently corrupt downstream analyses.
         """
         self._topo_cache = None
@@ -113,6 +115,42 @@ class TaskGraph:
         self._messages[edge] = message
         self._succ[src].append(dst)
         self._pred[dst].append(src)
+        self._invalidate_caches()
+        return message
+
+    def remove_subtask(self, node_id: NodeId) -> Subtask:
+        """Remove a subtask and every arc incident to it; return the node.
+
+        Removal can orphan anchors: a node whose only predecessor is
+        removed becomes an input subtask and then needs a release time to
+        pass :meth:`validate` (likewise deadlines for new outputs) — the
+        caller re-anchors, this method only edits structure. Raises
+        :class:`UnknownNodeError` if the id is not present.
+        """
+        self._require(node_id)
+        node = self._nodes.pop(node_id)
+        for pred in self._pred.pop(node_id):
+            self._succ[pred].remove(node_id)
+            del self._messages[(pred, node_id)]
+        for succ in self._succ.pop(node_id):
+            self._pred[succ].remove(node_id)
+            del self._messages[(node_id, succ)]
+        self._invalidate_caches()
+        return node
+
+    def remove_edge(self, src: NodeId, dst: NodeId) -> Message:
+        """Remove the arc ``src -> dst``; return its message.
+
+        Both endpoints stay in the graph (re-anchor them if they became
+        inputs/outputs). Raises :class:`UnknownNodeError` if the arc is
+        not present.
+        """
+        edge = (src, dst)
+        if edge not in self._messages:
+            raise UnknownNodeError(f"edge {src!r}->{dst!r} not in graph")
+        message = self._messages.pop(edge)
+        self._succ[src].remove(dst)
+        self._pred[dst].remove(src)
         self._invalidate_caches()
         return message
 
@@ -201,7 +239,8 @@ class TaskGraph:
         """The compiled :class:`~repro.graph.indexed.GraphIndex` view.
 
         Built on first access and cached until the next structural
-        mutation (``add_subtask`` / ``add_edge``); attribute mutation
+        mutation (``add_subtask`` / ``add_edge`` / ``remove_subtask`` /
+        ``remove_edge``); attribute mutation
         (costs, anchors, pins, message sizes) does not invalidate it —
         the index references the live node/message objects. Every
         analysis layer (paths, expanded graph, schedulers) walks the

@@ -24,6 +24,7 @@ from repro.qa.fuzz import (
     FuzzConfig,
     FuzzFailure,
     FuzzResult,
+    replay_reproducer,
     run_fuzz,
     scenario_from_dict,
     shrink_graph,
@@ -54,6 +55,7 @@ __all__ = [
     "oracle_graph_depth",
     "oracle_longest_path_length",
     "oracle_validate_assignment",
+    "replay_reproducer",
     "replay_schedule",
     "run_fuzz",
     "scenario_from_dict",

@@ -77,6 +77,9 @@ class FuzzConfig:
     #: many subtasks *and* at most two processors (factorial blow-up).
     exhaustive_max_subtasks: int = 5
     max_shrink_steps: int = 300
+    #: Also differential-check every scalar distribution against the
+    #: vectorized batch kernel (``repro fuzz --batch``).
+    use_batch: bool = False
 
 
 @dataclass
@@ -223,25 +226,20 @@ def _rebuild(
     Dropping a node or arc can create new inputs (anchored at release 0)
     and new outputs (anchored at the latest existing end-to-end
     deadline). Returns ``None`` when the result is empty or invalid.
+    The drops go through :meth:`TaskGraph.remove_subtask` /
+    :meth:`TaskGraph.remove_edge`, so every shrink step also exercises
+    the structural-mutation cache invalidation the analyses depend on.
     """
-    def w(value: float, floor: float) -> float:
-        return max(floor, float(round(value))) if round_times else value
-
-    out = TaskGraph(name=graph.name)
-    for node in graph.nodes():
-        if node.node_id == drop_node:
-            continue
-        out.add_subtask(
-            node.node_id,
-            wcet=w(node.wcet, 1.0),
-            release=node.release,
-            end_to_end_deadline=node.end_to_end_deadline,
-            pinned_to=node.pinned_to,
-        )
-    for src, dst in graph.edges():
-        if drop_node in (src, dst) or (src, dst) == drop_edge:
-            continue
-        out.add_edge(src, dst, message_size=w(graph.message(src, dst).size, 0.0))
+    out = graph.copy()
+    if drop_node is not None:
+        out.remove_subtask(drop_node)
+    if drop_edge is not None and out.has_edge(*drop_edge):
+        out.remove_edge(*drop_edge)
+    if round_times:
+        for node in out.nodes():
+            node.wcet = max(1.0, float(round(node.wcet)))
+        for message in out.messages():
+            message.size = max(0.0, float(round(message.size)))
     if out.n_subtasks == 0:
         return None
     fallback_deadline = max(
@@ -336,7 +334,40 @@ def _check_scenario(
         path_limit=config.path_limit,
         bnb_max_subtasks=config.bnb_max_subtasks,
         exhaustive_max_subtasks=exhaustive,
+        use_batch=config.use_batch,
     )
+
+
+def replay_reproducer(
+    data: Dict[str, Any], config: Optional[FuzzConfig] = None
+) -> QAReport:
+    """Re-check one reproducer under the campaign's own check gating.
+
+    The live campaign never calls :func:`check_pipeline` directly: it
+    goes through :func:`_check_scenario`, which applies the
+    :class:`FuzzConfig` limits (path-enumeration budget, B&B size cap)
+    and enables the exhaustive-permutation differential only on
+    small-platform scenarios. A replay must exercise *exactly* the same
+    checks — re-checking with ``check_pipeline``'s defaults (as
+    ``repro fuzz --replay`` once did) silently dropped the exhaustive
+    differential and widened the B&B gate, so a reproducer whose failure
+    sat behind that gating — degenerate scenarios like zero-edge or
+    single-subtask graphs are exactly the ones small enough to hit it —
+    replayed green.
+
+    Accepts a full reproducer file (the embedded shrunk graph is
+    checked) or a bare scenario dict (the graph is regenerated from the
+    recorded generator seed). ``config`` defaults to ``FuzzConfig()``;
+    pass the campaign's config to reproduce non-default limits.
+    """
+    if config is None:
+        config = FuzzConfig()
+    scenario = data.get("scenario", data)
+    if "graph" in data:
+        graph = graph_from_dict(data["graph"])
+    else:
+        graph = _build_graph(scenario)
+    return _check_scenario(graph, scenario, config)
 
 
 def run_fuzz(

@@ -58,6 +58,30 @@ def small_graph_configs(draw) -> RandomGraphConfig:
 
 
 @st.composite
+def stress_graph_configs(draw) -> RandomGraphConfig:
+    """Configurations stressing the distribution pipeline's edge regimes:
+    laxity ratios on *both* sides of feasibility (OLR < 1 forces the
+    documented over-constrained collapsed-window regime), the
+    communication-free case, and near-zero mean execution times. The
+    batch-vs-scalar differential draws from these."""
+    n_lo = draw(st.integers(min_value=3, max_value=20))
+    n_hi = n_lo + draw(st.integers(min_value=0, max_value=12))
+    d_lo = min(draw(st.integers(min_value=2, max_value=4)), n_lo)
+    d_hi = min(d_lo + draw(st.integers(min_value=0, max_value=3)), n_lo)
+    return RandomGraphConfig(
+        n_subtasks_range=(n_lo, n_hi),
+        depth_range=(d_lo, d_hi),
+        mean_execution_time=draw(st.sampled_from([0.001, 1.0, 20.0])),
+        execution_time_deviation=draw(st.sampled_from(DEVIATIONS)),
+        overall_laxity_ratio=draw(st.sampled_from([0.5, 0.9, 1.1, 2.0])),
+        communication_to_computation_ratio=draw(
+            st.sampled_from([0.0, 0.5, 2.0])
+        ),
+        olr_basis=draw(st.sampled_from(["graph-workload", "path-workload"])),
+    )
+
+
+@st.composite
 def generated_graphs(draw, config_strategy=None) -> TaskGraph:
     """A graph from the library's own generator under a drawn config."""
     config = draw(

@@ -12,6 +12,7 @@ from repro.qa import (
     FuzzConfig,
     FuzzFailure,
     QAReport,
+    replay_reproducer,
     run_fuzz,
     scenario_from_dict,
     shrink_graph,
@@ -171,6 +172,96 @@ class TestReproducers:
         path = tmp_path / "failure.json"
         path.write_text(json.dumps(data))
         assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+
+class TestReplayGating:
+    """``--replay`` must exercise the live campaign's exact check set.
+
+    The replay path once re-checked reproducers through
+    ``check_pipeline``'s defaults, which silently dropped the exhaustive
+    differential and widened the B&B gate — precisely on the degenerate
+    (zero-edge, single-subtask) scenarios small enough to sit behind
+    that gating. These pin ``replay_reproducer`` to ``_check_scenario``.
+    """
+
+    @staticmethod
+    def _scenario(n_processors=2):
+        scenario = dict(_draw_scenario(0, 0))
+        scenario["n_processors"] = n_processors
+        scenario["metric"] = "PURE"
+        scenario["estimator"] = "CCNE"
+        return scenario
+
+    @staticmethod
+    def _names(report):
+        return [c.name for c in report.checks]
+
+    def test_replay_matches_live_check_set(self):
+        from repro.qa.fuzz import _check_scenario
+
+        config = FuzzConfig()
+        for trial in range(6):
+            scenario = _draw_scenario(2, trial)
+            live = _check_scenario(_build_graph(scenario), scenario, config)
+            replayed = replay_reproducer(scenario, config=config)
+            assert self._names(replayed) == self._names(live)
+            assert replayed.ok == live.ok
+
+    def test_single_subtask_replay_runs_exhaustive_differential(self):
+        g = TaskGraph(name="solo")
+        g.add_subtask("only", wcet=3.0, release=0.0,
+                      end_to_end_deadline=10.0)
+        data = {"scenario": self._scenario(), "graph": graph_to_dict(g)}
+        report = replay_reproducer(data)
+        assert "optimal.matches_exhaustive" in self._names(report)
+        assert report.ok
+
+    def test_zero_edge_replay_runs_exhaustive_differential(self):
+        g = TaskGraph(name="islands")
+        for i in range(3):
+            g.add_subtask(f"n{i}", wcet=1.0 + i, release=0.0,
+                          end_to_end_deadline=25.0)
+        data = {"scenario": self._scenario(), "graph": graph_to_dict(g)}
+        report = replay_reproducer(data)
+        assert "optimal.matches_exhaustive" in self._names(report)
+        assert report.ok
+
+    def test_over_constrained_replay_checks_degenerate_contract(self):
+        g = TaskGraph(name="collapsed")
+        g.add_subtask("only", wcet=5.0, release=0.0,
+                      end_to_end_deadline=2.0)
+        data = {"scenario": self._scenario(), "graph": graph_to_dict(g)}
+        report = replay_reproducer(data)
+        assert "distribution.degenerate_contract" in self._names(report)
+        assert report.ok
+
+    def test_large_platform_gates_exhaustive_off_like_live(self):
+        g = _fan_graph(n_leaves=2)
+        data = {
+            "scenario": self._scenario(n_processors=8),
+            "graph": graph_to_dict(g),
+        }
+        report = replay_reproducer(data)
+        assert "optimal.matches_exhaustive" not in self._names(report)
+
+    def test_batch_config_adds_identity_check(self):
+        pytest.importorskip("numpy")
+        g = _fan_graph()
+        data = {"scenario": self._scenario(), "graph": graph_to_dict(g)}
+        report = replay_reproducer(data, config=FuzzConfig(use_batch=True))
+        assert "distribution.batch_identical" in self._names(report)
+        assert report.ok
+
+    def test_cli_replay_batch_flag(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        g = TaskGraph(name="solo")
+        g.add_subtask("only", wcet=3.0, release=0.0,
+                      end_to_end_deadline=10.0)
+        data = {"scenario": self._scenario(), "graph": graph_to_dict(g)}
+        path = tmp_path / "degenerate.json"
+        path.write_text(json.dumps(data))
+        assert main(["fuzz", "--replay", str(path), "--batch"]) == 0
         assert "[PASS]" in capsys.readouterr().out
 
 

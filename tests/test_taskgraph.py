@@ -58,6 +58,62 @@ class TestConstruction:
         assert sorted(g) == ["a", "b", "c"]
 
 
+class TestRemoval:
+    def test_remove_subtask_drops_incident_edges(self):
+        g = build_small()
+        node = g.remove_subtask("b")
+        assert node.node_id == "b"
+        assert "b" not in g
+        assert g.n_subtasks == 2
+        # Both arcs through b are gone; the direct a->c arc survives.
+        assert g.edges() == [("a", "c")]
+        assert g.successors("a") == ["c"]
+        assert g.predecessors("c") == ["a"]
+        with pytest.raises(UnknownNodeError):
+            g.message("a", "b")
+
+    def test_remove_edge_keeps_endpoints(self):
+        g = build_small()
+        message = g.remove_edge("a", "b")
+        assert message.size == 1.0
+        assert "a" in g and "b" in g
+        assert not g.has_edge("a", "b")
+        assert g.successors("a") == ["c"]
+        assert g.predecessors("b") == []
+        # b became an input subtask.
+        assert set(g.input_subtasks()) == {"a", "b"}
+
+    def test_remove_unknown_raises(self):
+        g = build_small()
+        with pytest.raises(UnknownNodeError):
+            g.remove_subtask("nope")
+        with pytest.raises(UnknownNodeError):
+            g.remove_edge("c", "a")
+        # Nothing was mutated by the failed removals.
+        assert g.n_subtasks == 3 and g.n_edges == 3
+
+    def test_removal_invalidates_caches(self):
+        g = build_small()
+        index_before = g.index()
+        topo_before = g.topological_order()
+        g.remove_edge("a", "b")
+        assert g.index() is not index_before
+        g.remove_subtask("b")
+        assert g.topological_order() == ["a", "c"]
+        assert topo_before == ["a", "b", "c"]
+        assert g.index().n_nodes == 2
+
+    def test_remove_then_readd(self):
+        g = build_small()
+        g.remove_subtask("b")
+        g.add_subtask("b", wcet=2.0)
+        g.add_edge("a", "b", message_size=1.0)
+        g.add_edge("b", "c", message_size=2.0)
+        assert g.n_subtasks == 3 and g.n_edges == 3
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+
 class TestQueries:
     def test_neighbours(self):
         g = build_small()

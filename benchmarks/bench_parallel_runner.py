@@ -1,12 +1,13 @@
-"""The parallel trial engine: serial-vs-parallel throughput and identity.
+"""The execution backends: per-backend throughput and record identity.
 
 Runs a Figure-5-sized sweep (PURE / THRES / ADAPT over the size sweep and
-all three scenarios) through both engines and reports trials/second and
-the speedup. Two assertions:
+all three scenarios) through every registered backend and reports a
+per-backend trials/second table. Two assertions:
 
-1. **Record identity** — always: `jobs=N` must reproduce the serial
-   records exactly, in order (the engine's core guarantee).
-2. **Throughput** — on hosts with >= 8 cores, the parallel engine must be
+1. **Record identity** — always: every backend (pool with `jobs=N`,
+   subprocess with `--shards`) must reproduce the serial records
+   exactly, in order (the engine's core guarantee).
+2. **Throughput** — on hosts with >= 8 cores, the pool backend must be
    at least 3x faster than serial; skipped on smaller boxes where the
    hardware cannot express the speedup.
 
@@ -41,16 +42,28 @@ def bench_parallel_runner(benchmark):
         r.as_dict() for r in serial.records
     ], "parallel records diverge from serial"
 
+    shards = min(4, jobs)
+    sharded = run_experiment(config, backend="subprocess", shards=shards)
+    assert [r.as_dict() for r in sharded.records] == [
+        r.as_dict() for r in serial.records
+    ], f"subprocess[{shards}] records diverge from serial"
+
+    rows = [
+        ("serial", 1, serial),
+        (f"pool[{jobs}]", jobs, parallel),
+        (f"subprocess[{shards}]", shards, sharded),
+    ]
     speedup = serial.elapsed_seconds / max(parallel.elapsed_seconds, 1e-9)
     print()
-    print(
-        f"trials={config.n_trials}  "
-        f"serial={serial.elapsed_seconds:.2f}s "
-        f"({config.n_trials / serial.elapsed_seconds:.1f} trials/s)  "
-        f"parallel[{jobs}]={parallel.elapsed_seconds:.2f}s "
-        f"({config.n_trials / parallel.elapsed_seconds:.1f} trials/s)  "
-        f"speedup={speedup:.2f}x"
-    )
+    print(f"trials={config.n_trials}")
+    print(f"{'backend':<16} {'seconds':>8} {'trials/s':>9} {'speedup':>8}")
+    for label, _, result in rows:
+        elapsed = max(result.elapsed_seconds, 1e-9)
+        print(
+            f"{label:<16} {result.elapsed_seconds:>8.2f} "
+            f"{config.n_trials / elapsed:>9.1f} "
+            f"{serial.elapsed_seconds / elapsed:>7.2f}x"
+        )
     print(f"worker phase totals: {parallel.timings.as_dict()}")
 
     cores = os.cpu_count() or 1

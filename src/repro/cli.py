@@ -16,6 +16,13 @@ serial) with::
 
     repro run figure5 --jobs 8
 
+Shard a run across independent worker subprocesses, journaled to a
+checkpoint directory you can inspect, validate, and compact::
+
+    repro run figure5 --backend subprocess --shards 4 --checkpoint ck/f5
+    repro checkpoint ck/f5 --experiment figure5
+    repro checkpoint ck/f5 --compact
+
 Record a run's telemetry (spans, metrics, resource samples), then
 inspect it or convert it for Perfetto / ``chrome://tracing``::
 
@@ -123,9 +130,21 @@ def build_parser() -> argparse.ArgumentParser:
         "fall back to the scalar path)",
     )
     run.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend: serial, pool, or subprocess (shards "
+        "the sweep over independent worker subprocesses merged through "
+        "the checkpoint journal); default: serial for --jobs 1, else "
+        "pool",
+    )
+    run.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="worker subprocesses for --backend subprocess (default: 2)",
+    )
+    run.add_argument(
         "--checkpoint", default=None, metavar="PATH",
-        help="journal completed work to PATH; pass --resume to continue "
-        "an interrupted sweep from it",
+        help="journal completed work to PATH (a file, or a directory "
+        "with --backend subprocess); pass --resume to continue an "
+        "interrupted sweep from it",
     )
     run.add_argument(
         "--resume", action="store_true",
@@ -199,6 +218,37 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="output path (default: the input with .events.jsonl "
         "replaced by .trace.json)",
+    )
+
+    ckpt = sub.add_parser(
+        "checkpoint",
+        help="inspect, validate, or compact checkpoint journals "
+        "(a single .ckpt file or a shard-journal directory)",
+    )
+    ckpt.add_argument(
+        "path", help="journal file, or directory of shard journals"
+    )
+    ckpt.add_argument(
+        "--experiment", default=None, choices=sorted(EXPERIMENTS),
+        help="validate chunk coverage and fingerprint against this "
+        "experiment's configuration",
+    )
+    ckpt.add_argument(
+        "--graphs", type=int, default=None,
+        help="the --graphs the run used (fingerprints must match)",
+    )
+    ckpt.add_argument(
+        "--sizes", type=_parse_sizes, default=None,
+        help="the --sizes the run used (fingerprints must match)",
+    )
+    ckpt.add_argument(
+        "--seed", type=int, default=None,
+        help="the --seed the run used (fingerprints must match)",
+    )
+    ckpt.add_argument(
+        "--compact", action="store_true",
+        help="merge a directory of shard journals into a single "
+        "shard-0-of-1.ckpt (resumable by any backend or shard count)",
     )
 
     fuzz = sub.add_parser(
@@ -373,6 +423,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.feast.parallel import resolve_jobs
 
     jobs = resolve_jobs(args.jobs)
+    if args.backend is not None:
+        from repro.feast.backends import backend_names
+
+        if args.backend not in backend_names():
+            print(
+                f"error: unknown backend {args.backend!r}; expected one "
+                f"of {', '.join(backend_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
@@ -418,6 +481,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             config, progress=progress, jobs=jobs,
             instrumentation=instrumentation,
             checkpoint=checkpoints.get(config.name),
+            backend=args.backend, shards=args.shards,
         )
         print(lateness_report(result))
         print()
@@ -472,6 +536,138 @@ def cmd_run(args: argparse.Namespace) -> int:
             fp.write("\n".join(lines) + "\n")
         print(f"wrote {args.csv}")
     return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Inspect/validate/compact a checkpoint journal or shard directory.
+
+    Exit codes: 0 = valid, 1 = validation failure (mixed fingerprints,
+    missing coverage, fingerprint not matching ``--experiment``),
+    2 = unreadable input or usage error.
+    """
+    from repro.errors import CheckpointError
+    from repro.feast.persistence import (
+        compact_journals,
+        config_fingerprint,
+        inspect_journal,
+        journal_paths,
+    )
+
+    is_dir = os.path.isdir(args.path)
+    try:
+        paths = journal_paths(args.path) if is_dir else [args.path]
+        if not paths:
+            print(
+                f"error: no *.ckpt journals under {args.path!r}",
+                file=sys.stderr,
+            )
+            return 2
+        infos = [inspect_journal(p) for p in paths]
+    except (CheckpointError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    ok = True
+    covered = set()
+    first_seen = {}
+    cross_duplicates = set()
+    for info in infos:
+        print(f"{info.path}:")
+        print(f"  experiment   {info.experiment}")
+        print(f"  fingerprint  {info.fingerprint}")
+        print(f"  chunks       {info.n_chunks}")
+        if info.torn_tail:
+            print("  torn trailing line (repaired on next resume)")
+        if info.duplicates:
+            shown = ", ".join(
+                f"({s}, {i})" for s, i in info.duplicates[:5]
+            )
+            more = " ..." if len(info.duplicates) > 5 else ""
+            print(
+                f"  {len(info.duplicates)} duplicate chunk line(s) "
+                f"within this journal (last wins): {shown}{more}"
+            )
+        for key in info.chunks:
+            covered.add(key)
+            if key in first_seen and first_seen[key] != info.path:
+                cross_duplicates.add(key)
+            first_seen.setdefault(key, info.path)
+
+    fingerprints = sorted({info.fingerprint for info in infos})
+    if len(fingerprints) > 1:
+        ok = False
+        print(
+            "FINGERPRINT MISMATCH: journals were written by "
+            f"{len(fingerprints)} different configurations "
+            f"({', '.join(fingerprints)})"
+        )
+    if cross_duplicates:
+        print(
+            f"note: {len(cross_duplicates)} chunk(s) appear in more "
+            "than one journal (expected after a shard-count change; "
+            "identical copies collapse on merge)"
+        )
+
+    if args.experiment is not None:
+        kwargs = {}
+        if args.graphs is not None:
+            kwargs["n_graphs"] = args.graphs
+        if args.sizes is not None:
+            kwargs["system_sizes"] = tuple(args.sizes)
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        configs = build_experiment(args.experiment, **kwargs)
+        matched = [
+            c for c in configs if config_fingerprint(c) in fingerprints
+        ]
+        if not matched:
+            ok = False
+            print(
+                f"NO CONFIG MATCH: no configuration of "
+                f"{args.experiment!r} has a matching fingerprint (were "
+                "--graphs/--sizes/--seed the same as the run's?)"
+            )
+        for config in matched:
+            expected = list(config.chunk_keys())
+            missing = [k for k in expected if k not in covered]
+            if missing:
+                ok = False
+                shown = ", ".join(
+                    f"({s}, {i})" for s, i in missing[:5]
+                )
+                more = " ..." if len(missing) > 5 else ""
+                print(
+                    f"{config.name}: INCOMPLETE — "
+                    f"{len(expected) - len(missing)}/{len(expected)} "
+                    f"chunks journaled; missing {shown}{more}"
+                )
+            else:
+                print(
+                    f"{config.name}: complete "
+                    f"({len(expected)}/{len(expected)} chunks)"
+                )
+
+    if args.compact:
+        if not is_dir:
+            print(
+                "error: --compact needs a directory of shard journals",
+                file=sys.stderr,
+            )
+            return 2
+        if not ok:
+            print(
+                "error: refusing to compact journals that failed "
+                "validation",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            merged = compact_journals(args.path)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"compacted {len(paths)} journal(s) into {merged}")
+    return 0 if ok else 1
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -627,6 +823,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_list()
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "checkpoint":
+        return cmd_checkpoint(args)
     if args.command == "fuzz":
         return cmd_fuzz(args)
     if args.command == "demo":

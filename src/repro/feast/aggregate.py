@@ -232,6 +232,145 @@ def _two_sided_p(t_stat: float, dof: int) -> float:
         return float(2.0 * 0.5 * math.erfc(z / math.sqrt(2.0)))
 
 
+# ----------------------------------------------------------------------
+# Streaming aggregation (the record_sink side of the execution backends)
+# ----------------------------------------------------------------------
+class ExactSum:
+    """Exact float accumulation via Shewchuk partials.
+
+    Floating-point addition is not associative, but execution backends
+    deliver chunks in arbitrary order — the pool by completion, shards
+    by journal position. Tracking each group's sum as a list of
+    non-overlapping partials makes the rounded total independent of
+    the order values arrive in, which is what lets a streamed aggregate
+    be *identical* across backends and shard counts instead of merely
+    close. Memory is O(1) in practice (a handful of partials).
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self) -> None:
+        self._partials: List[float] = []
+
+    def add(self, x: float) -> None:
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    @property
+    def value(self) -> float:
+        """The correctly rounded sum of everything added so far."""
+        return math.fsum(self._partials)
+
+
+class StreamStats:
+    """One group's running statistics (exact sums, O(1) memory)."""
+
+    __slots__ = ("n", "_sum", "_sumsq", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._sum = ExactSum()
+        self._sumsq = ExactSum()
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self._sum.add(value)
+        self._sumsq.add(value * value)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def summary(self) -> Summary:
+        """A :class:`Summary` of the streamed values.
+
+        The variance comes from the one-pass identity
+        ``(Σv² − n·mean²) / (n−1)`` over *exact* sums, so it is
+        order-independent; it can differ from the two-pass
+        :func:`summarize` result in the last few ulps (never more —
+        the sums themselves carry no accumulated rounding error).
+        """
+        if self.n == 0:
+            raise ExperimentError("cannot summarize an empty sample")
+        n = self.n
+        mean = self._sum.value / n
+        if n > 1:
+            var = max(0.0, (self._sumsq.value - n * mean * mean) / (n - 1))
+            std = math.sqrt(var)
+            half = _t95(n - 1) * std / math.sqrt(n)
+        else:
+            std = 0.0
+            half = float("nan")
+        return Summary(
+            n=n,
+            mean=mean,
+            std=std,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            ci95_half_width=half,
+        )
+
+
+class StreamingAggregator:
+    """Fold trial records into per-group statistics as they stream.
+
+    The ``record_sink`` counterpart of :func:`summarize_by`: pass an
+    instance as ``run_experiment(..., record_sink=agg)`` and each
+    record is folded into its group's :class:`StreamStats` the moment
+    its chunk completes (or replays from a checkpoint), then dropped —
+    the run never materializes the record list, so a paper-scale sweep's
+    resident memory is bounded by the chunk size. Aggregates are
+    order-independent (see :class:`ExactSum`): serial, pool, and any
+    shard count produce identical group summaries.
+
+    ``key``/``value`` default to the paper's headline series — mean max
+    lateness per (scenario, method, n_processors), i.e.
+    :meth:`means` matches :func:`mean_max_lateness` of the same records.
+    """
+
+    def __init__(
+        self,
+        key: KeyFn = lambda r: (r.scenario, r.method, r.n_processors),
+        value: Callable[[TrialRecord], float] = lambda r: r.max_lateness,
+    ) -> None:
+        self._key = key
+        self._value = value
+        self.groups: Dict[GroupKey, StreamStats] = {}
+        #: Records folded so far.
+        self.n_records = 0
+
+    def __call__(self, record: TrialRecord) -> None:
+        """The record-sink interface: fold one record."""
+        self.n_records += 1
+        stats = self.groups.get(self._key(record))
+        if stats is None:
+            stats = self.groups.setdefault(self._key(record), StreamStats())
+        stats.add(self._value(record))
+
+    def summaries(self) -> Dict[GroupKey, Summary]:
+        """Per-group :class:`Summary`, keyed and ordered deterministically
+        (sorted by group key, independent of arrival order)."""
+        return {
+            key: self.groups[key].summary() for key in sorted(self.groups)
+        }
+
+    def means(self) -> Dict[GroupKey, float]:
+        """Per-group means — the streamed :func:`mean_max_lateness`."""
+        return {key: s.mean for key, s in self.summaries().items()}
+
+
 def improvement_over(
     records: Iterable[TrialRecord],
     baseline_method: str,

@@ -1,0 +1,110 @@
+"""Pluggable execution backends for the trial engine.
+
+The work-unit contract lives in :mod:`.work`, the backend interface and
+shared chunk driver in :mod:`.base`, and three implementations ship
+in-tree:
+
+======================  ==========================================
+``serial``              chunks run one at a time in this process
+``pool``                supervised local ``ProcessPoolExecutor``
+``subprocess``          independent shard subprocesses merged
+                        through the checkpoint journal
+======================  ==========================================
+
+``run_experiment(..., backend="pool")`` / ``repro run --backend`` select
+one by name; :func:`register_backend` adds custom ones (see
+docs/EXTENDING.md). Every backend produces byte-identical canonical
+records for the same config — the parity tests in
+``tests/test_backends.py`` hold them to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.feast.backends.base import (
+    BackendOutcome,
+    ChunkDriver,
+    ChunkState,
+    ExecutionBackend,
+    ExecutionRequest,
+    assemble_records,
+)
+from repro.feast.backends.pool import PoolSupervisor, ProcessPoolBackend
+from repro.feast.backends.serial import SerialBackend, run_classic_serial
+from repro.feast.backends.shards import SubprocessBackend
+from repro.feast.backends.work import (
+    ChunkKey,
+    ChunkResult,
+    RetryPolicy,
+    TrialSpec,
+    default_jobs,
+    execute_chunk,
+    is_parallelizable,
+    resolve_jobs,
+    run_chunk,
+)
+
+#: Name → zero-argument backend factory.
+BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    SubprocessBackend.name: SubprocessBackend,
+}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ExecutionBackend]
+) -> None:
+    """Register a custom execution backend under ``name``.
+
+    ``factory()`` must return an :class:`ExecutionBackend`. Registering
+    an existing name (including the built-ins) replaces it.
+    """
+    BACKENDS[name] = factory
+
+
+def backend_names() -> List[str]:
+    """The currently registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def make_backend(name: str) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown execution backend {name!r}; expected one of "
+            f"{backend_names()}"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendOutcome",
+    "ChunkDriver",
+    "ChunkKey",
+    "ChunkResult",
+    "ChunkState",
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "PoolSupervisor",
+    "ProcessPoolBackend",
+    "RetryPolicy",
+    "SerialBackend",
+    "SubprocessBackend",
+    "TrialSpec",
+    "assemble_records",
+    "backend_names",
+    "default_jobs",
+    "execute_chunk",
+    "is_parallelizable",
+    "make_backend",
+    "register_backend",
+    "resolve_jobs",
+    "run_chunk",
+    "run_classic_serial",
+]

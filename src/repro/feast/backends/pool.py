@@ -1,0 +1,317 @@
+"""Fault-tolerant execution over a local ``ProcessPoolExecutor``.
+
+The pool supervisor extends the shared :class:`~.base.ChunkDriver`
+bookkeeping with everything that only matters once worker *processes*
+exist:
+
+* **Pool supervision** — a :class:`BrokenProcessPool` respawns the
+  executor and requeues in-flight chunks. Crash *attribution* uses
+  probation: after a multi-chunk pool death the suspects re-run one at a
+  time, so the chunk that keeps killing workers consumes attempts while
+  innocent bystanders are requeued free of charge. After
+  ``RetryPolicy.max_pool_respawns`` deaths the backend degrades to
+  in-process execution with an :class:`ExperimentWarning` instead of
+  aborting.
+* **Hard-hang protection** — with ``config.trial_timeout`` set, any
+  chunk that overruns its whole-chunk wall-clock budget gets its pool
+  killed and the chunk charged a ``timeout`` attempt; cooperative
+  budgets inside workers handle the soft cases.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    ExperimentError,
+    ExperimentWarning,
+    TrialTimeoutError,
+    WorkerCrashError,
+)
+from repro.feast.backends.base import (
+    BackendOutcome,
+    ChunkDriver,
+    ExecutionBackend,
+    ExecutionRequest,
+)
+from repro.feast.backends.work import ChunkKey, execute_chunk, is_parallelizable
+
+
+class PoolSupervisor(ChunkDriver):
+    """Drives chunks over a supervised process pool."""
+
+    def __init__(self, request: ExecutionRequest, journal=None) -> None:
+        super().__init__(
+            request.config,
+            request.instrumentation,
+            request.policy,
+            journal=journal,
+            on_chunk=request.on_chunk,
+            keep_records=request.keep_records,
+        )
+        self.n_jobs = request.jobs
+        self.pool_deaths = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._inflight: Dict[object, ChunkKey] = {}
+        self._started: Dict[ChunkKey, float] = {}
+        timeout = self.config.trial_timeout
+        self._chunk_budget: Optional[float] = (
+            None if timeout is None
+            else timeout * self.config.trials_per_graph
+            + max(self.policy.timeout_grace, timeout)
+        )
+
+    # -- pool management -----------------------------------------------
+    def _spawn_pool(self) -> None:
+        max_workers = min(self.n_jobs, max(1, len(self.states)))
+        self._pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def _discard_pool(self, kill: bool = False) -> None:
+        if self._pool is None:
+            return
+        if kill:
+            for process in list(
+                getattr(self._pool, "_processes", {}).values()
+            ):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self._pool = None
+
+    def _submit(self, key: ChunkKey) -> bool:
+        state = self.states[key]
+        try:
+            future = self._pool.submit(
+                execute_chunk, state.spec, state.attempt,
+                self.config.trial_timeout, self.trace,
+            )
+        except BrokenExecutor:
+            return False
+        self._inflight[future] = key
+        self._started[key] = time.monotonic()
+        return True
+
+    def _probation(self) -> bool:
+        """Whether any chunk is suspected of killing workers."""
+        return any(
+            self.states[k].suspect
+            for k in list(self.waiting) + list(self._inflight.values())
+        )
+
+    def _submittable(self, now: float) -> List[ChunkKey]:
+        if self._probation():
+            if self._inflight:
+                return []
+            ready = sorted(
+                (k for k in self.waiting
+                 if self.states[k].suspect
+                 and self.states[k].eligible_at <= now),
+                key=lambda k: self.states[k].eligible_at,
+            )
+            return ready[:1]
+        return [k for k in self.waiting if self.states[k].eligible_at <= now]
+
+    def _next_eligible(self) -> float:
+        keys = (
+            [k for k in self.waiting if self.states[k].suspect]
+            if self._probation() else self.waiting
+        )
+        return min(self.states[k].eligible_at for k in keys)
+
+    def _wait_timeout(self, now: float) -> Optional[float]:
+        deadlines: List[float] = []
+        if self._chunk_budget is not None:
+            deadlines.extend(
+                started + self._chunk_budget
+                for started in self._started.values()
+            )
+        deadlines.extend(
+            self.states[k].eligible_at for k in self.waiting
+        )
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - now)
+
+    # -- event handling ------------------------------------------------
+    def _drain(self, finished) -> List[ChunkKey]:
+        """Process completed futures; return keys hit by a pool break."""
+        broken: List[ChunkKey] = []
+        for future in finished:
+            key = self._inflight.pop(future)
+            self._started.pop(key, None)
+            try:
+                chunk = future.result()
+            except BrokenExecutor:
+                broken.append(key)
+            except Exception as exc:
+                self.fail(key, "exception", exc)
+            else:
+                self.complete(key, chunk)
+        return broken
+
+    def _on_pool_break(self, broken: List[ChunkKey]) -> None:
+        """A worker died: respawn the pool and requeue in-flight chunks.
+
+        With exactly one victim the crash is attributed to it (an attempt
+        is consumed). With several, nobody can tell which chunk killed
+        the worker, so all victims are requeued free of charge but marked
+        suspect — they then re-run one at a time until each either
+        completes or crashes alone (precise attribution).
+        """
+        victims = list(broken)
+        victims.extend(self._inflight.values())
+        self._inflight.clear()
+        self._started.clear()
+        self._discard_pool()
+        self.pool_deaths += 1
+        self.inst.pool_respawned()
+        now = time.monotonic()
+        if len(victims) == 1:
+            key = victims[0]
+            self.states[key].suspect = True
+            self.fail(key, "crash", WorkerCrashError(
+                f"worker process died while running chunk "
+                f"(scenario={key[0]}, graph={key[1]})"
+            ))
+        else:
+            for key in victims:
+                state = self.states[key]
+                state.suspect = True
+                state.eligible_at = now
+                self.waiting.append(key)
+        if self.pool_deaths > self.policy.max_pool_respawns:
+            self.degraded_reason = (
+                f"process pool died {self.pool_deaths} times "
+                f"(> max_pool_respawns={self.policy.max_pool_respawns}); "
+                "degraded to in-process serial execution"
+            )
+            return
+        self._spawn_pool()
+
+    def _check_overdue(self) -> None:
+        """Kill the pool if any chunk overran its wall-clock budget."""
+        if self._chunk_budget is None or not self._started:
+            return
+        now = time.monotonic()
+        overdue = [
+            key for key, started in self._started.items()
+            if now - started > self._chunk_budget
+        ]
+        if not overdue:
+            return
+        # Collect any results that finished while we were deciding.
+        finished, _ = wait(set(self._inflight), timeout=0)
+        broken = self._drain(finished)
+        if broken:
+            self._on_pool_break(broken)
+            return
+        overdue = [
+            key for key, started in self._started.items()
+            if now - started > self._chunk_budget
+        ]
+        if not overdue:
+            return
+        # The hang is attributed precisely (we know which chunks are
+        # overdue), so this deliberate kill does not count as a pool
+        # death; innocent in-flight chunks are requeued free of charge.
+        self._discard_pool(kill=True)
+        survivors = [
+            key for key in self._inflight.values() if key not in overdue
+        ]
+        self._inflight.clear()
+        self._started.clear()
+        for key in overdue:
+            self.fail(key, "timeout", TrialTimeoutError(
+                f"chunk (scenario={key[0]}, graph={key[1]}) exceeded its "
+                f"{self._chunk_budget:.3g}s budget "
+                f"({self.config.trials_per_graph} trials x "
+                f"{self.config.trial_timeout:g}s trial timeout)"
+            ))
+        now = time.monotonic()
+        for key in survivors:
+            self.states[key].eligible_at = now
+            self.waiting.append(key)
+        self._spawn_pool()
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> None:
+        """Drive every chunk to completion or quarantine."""
+        self._spawn_pool()
+        try:
+            while self.outstanding() > 0:
+                if self.degraded_reason is not None:
+                    warnings.warn(
+                        f"experiment {self.config.name!r}: "
+                        f"{self.degraded_reason}",
+                        ExperimentWarning,
+                        stacklevel=3,
+                    )
+                    self.run_in_process()
+                    return
+                now = time.monotonic()
+                submitted_all = True
+                for key in self._submittable(now):
+                    self.waiting.remove(key)
+                    if not self._submit(key):
+                        # The pool broke between waits; requeue and treat
+                        # it as a break with no attributable victim.
+                        self.waiting.append(key)
+                        self._on_pool_break([])
+                        submitted_all = False
+                        break
+                if not submitted_all:
+                    continue
+                if not self._inflight:
+                    # Everything runnable is backing off.
+                    delay = self._next_eligible() - time.monotonic()
+                    if delay > 0:
+                        time.sleep(min(delay, 1.0))
+                    continue
+                finished, _ = wait(
+                    set(self._inflight),
+                    timeout=self._wait_timeout(time.monotonic()),
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = self._drain(finished)
+                if broken:
+                    self._on_pool_break(broken)
+                    continue
+                self._check_overdue()
+        finally:
+            self._discard_pool()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Chunks fan out over a supervised local process pool."""
+
+    name = "pool"
+
+    def prepare(self, request: ExecutionRequest) -> None:
+        if not is_parallelizable(request.config):
+            raise ExperimentError(
+                f"experiment {request.config.name!r} carries an unpicklable "
+                "graph_factory; run it with jobs=1"
+            )
+
+    def run(self, request: ExecutionRequest) -> BackendOutcome:
+        journal = None
+        if request.checkpoint is not None:
+            from repro.feast.persistence import CheckpointJournal
+
+            journal = CheckpointJournal(request.checkpoint, request.config)
+        supervisor = PoolSupervisor(request, journal=journal)
+        try:
+            supervisor.run()
+        finally:
+            if journal is not None:
+                journal.close()
+        return supervisor.outcome()

@@ -1,0 +1,371 @@
+"""Multi-process shard execution coordinated through journal files.
+
+The :class:`SubprocessBackend` is the relaxed-locality execution story:
+instead of sharing a pool inside one interpreter, the sweep is split
+into ``shards`` disjoint partitions, each executed by an independent
+``repro`` worker subprocess (:mod:`.shardworker`) that talks to the
+parent through the filesystem only — one config-fingerprinted
+checkpoint journal per shard. Nothing but the tiny pickled payload
+crosses a pipe, so the same protocol works unchanged when the "shards"
+are later dispatched to different hosts sharing a filesystem: the
+journal directory is the coordination medium.
+
+Shard-merge protocol
+--------------------
+* Partition: shard ``i`` of ``n`` owns the chunks whose ordinal in the
+  canonical ``config.chunk_keys()`` ordering is ``≡ i (mod n)`` —
+  computed independently (and identically) by parent and workers.
+* Each shard appends completed chunks to ``shard-i-of-n.ckpt`` in the
+  journal directory and finally writes an atomic JSON summary (fault
+  accounting + serialized telemetry).
+* A shard that exits nonzero is relaunched (its journal makes the
+  relaunch incremental) up to ``RetryPolicy.max_attempts`` launches;
+  a shard that keeps dying is finished *in-process* by the parent,
+  against the same journal, and the run is marked degraded.
+* The parent then streams every shard journal, rejects conflicting
+  duplicate chunks (identical duplicates are tolerated — e.g. after a
+  re-partitioned resume), folds telemetry under the single run span,
+  and hands the union to canonical assembly — byte-identical records
+  to a serial run, for any shard count.
+
+Resuming a sharded sweep reuses the directory: pass the same
+``checkpoint`` and shard count. (A directory journaled under a
+different shard count is still *correct* to resume — fingerprints
+guard identity, duplicates merge — but chunks recorded in the old
+partition's files are re-run, since each worker replays only its own
+journal.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import warnings
+from typing import Dict, List, Optional
+
+from repro.errors import CheckpointError, ExperimentError, ExperimentWarning
+from repro.feast.backends.base import (
+    BackendOutcome,
+    ChunkDriver,
+    ExecutionBackend,
+    ExecutionRequest,
+)
+from repro.feast.backends.work import ChunkKey, is_parallelizable
+from repro.feast.backends.shardworker import shard_keys
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.resources import ResourceSample
+from repro.obs.spans import Span
+
+#: Seconds between child-process liveness polls.
+_POLL_INTERVAL = 0.05
+
+
+def _shard_stem(shard: int, n_shards: int) -> str:
+    return f"shard-{shard}-of-{n_shards}"
+
+
+def _chunk_digest(chunk) -> str:
+    """Content hash of a chunk's records, for duplicate arbitration."""
+    blob = json.dumps(
+        sorted(
+            [size, method, record.as_dict()]
+            for (size, method), record in chunk.records.items()
+        ),
+        sort_keys=True,
+    )
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _worker_env() -> Dict[str, str]:
+    """The child environment: inherit everything, ensure ``repro`` is
+    importable (fault-injection plans etc. ride along automatically)."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing
+        else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+def _log_tail(path: str, lines: int = 5) -> str:
+    try:
+        with open(path) as fp:
+            tail = fp.read().splitlines()[-lines:]
+    except OSError:
+        return ""
+    return "\n".join(tail)
+
+
+class SubprocessBackend(ExecutionBackend):
+    """Disjoint shards executed by independent worker subprocesses."""
+
+    name = "subprocess"
+
+    def prepare(self, request: ExecutionRequest) -> None:
+        if request.shards < 1:
+            raise ExperimentError(
+                f"shards must be >= 1, got {request.shards}"
+            )
+        if not is_parallelizable(request.config):
+            raise ExperimentError(
+                f"experiment {request.config.name!r} carries an unpicklable "
+                "graph_factory; run it with jobs=1"
+            )
+        if request.checkpoint is not None and os.path.isfile(request.checkpoint):
+            raise CheckpointError(
+                f"the subprocess backend checkpoints into a journal "
+                f"*directory*, but {request.checkpoint!r} is a file "
+                "(a single-file journal from a serial/pool run?)"
+            )
+
+    def run(self, request: ExecutionRequest) -> BackendOutcome:
+        from repro.feast.persistence import config_fingerprint, iter_journal
+
+        config = request.config
+        inst = request.instrumentation
+        n_shards = request.shards
+        fingerprint = config_fingerprint(config)
+
+        directory = request.checkpoint
+        ephemeral = directory is None
+        if ephemeral:
+            directory = tempfile.mkdtemp(prefix="repro-shards-")
+        else:
+            os.makedirs(directory, exist_ok=True)
+
+        journals = [
+            os.path.join(directory, _shard_stem(i, n_shards) + ".ckpt")
+            for i in range(n_shards)
+        ]
+        summaries = [
+            os.path.join(directory, _shard_stem(i, n_shards) + ".summary.json")
+            for i in range(n_shards)
+        ]
+        logs = [
+            os.path.join(directory, _shard_stem(i, n_shards) + ".log")
+            for i in range(n_shards)
+        ]
+
+        # Chunks already journaled before this run started count as
+        # replayed, not completed, in the progress accounting.
+        pre_existing = set()
+        for path in journals:
+            if os.path.exists(path):
+                for key, _ in iter_journal(path, fingerprint=fingerprint):
+                    pre_existing.add(key)
+
+        payload_paths: List[str] = []
+        for i in range(n_shards):
+            payload = {
+                "config": config,
+                "shard": i,
+                "n_shards": n_shards,
+                "journal": journals[i],
+                "summary": summaries[i],
+                "policy": request.policy,
+                "trace": request.trace,
+            }
+            path = os.path.join(
+                directory, _shard_stem(i, n_shards) + ".payload.pkl"
+            )
+            with open(path, "wb") as fp:
+                pickle.dump(payload, fp)
+            payload_paths.append(path)
+
+        fallback: List[int] = self._drive_workers(
+            request, payload_paths, logs
+        )
+
+        outcome = BackendOutcome()
+        seen: Dict[ChunkKey, str] = {}
+
+        def merge_chunk(key: ChunkKey, chunk) -> None:
+            digest = _chunk_digest(chunk)
+            if key in seen:
+                if seen[key] != digest:
+                    raise ExperimentError(
+                        f"conflicting duplicate chunk (scenario={key[0]}, "
+                        f"graph={key[1]}) across shard journals in "
+                        f"{directory!r} — records differ; refusing to merge"
+                    )
+                return
+            seen[key] = digest
+            if request.on_chunk is not None:
+                request.on_chunk(key, chunk)
+                outcome.streamed_trials += chunk.n_trials
+            outcome.chunks[key] = chunk if request.keep_records else None
+            if key in pre_existing:
+                inst.replayed(chunk.timings, chunk.n_trials)
+            else:
+                inst.absorb(chunk.timings, chunk.n_trials)
+
+        for i in range(n_shards):
+            if i in fallback:
+                self._finish_in_process(
+                    request, i, n_shards, journals[i], outcome, seen,
+                )
+                continue
+            for key, chunk in iter_journal(
+                journals[i], fingerprint=fingerprint
+            ):
+                merge_chunk(key, chunk)
+            self._merge_summary(request, summaries[i], outcome)
+
+        if fallback:
+            outcome.degraded_reason = (
+                f"shard(s) {sorted(fallback)} kept failing after "
+                f"{request.policy.max_attempts} launch(es); their "
+                "remaining chunks ran in-process in the parent"
+            )
+        if ephemeral:
+            shutil.rmtree(directory, ignore_errors=True)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _drive_workers(
+        self,
+        request: ExecutionRequest,
+        payload_paths: List[str],
+        logs: List[str],
+    ) -> List[int]:
+        """Launch all shards; relaunch failures. Returns given-up shards."""
+        env = _worker_env()
+        launches = {i: 0 for i in range(len(payload_paths))}
+        fallback: List[int] = []
+
+        def launch(i: int) -> subprocess.Popen:
+            launches[i] += 1
+            log = open(logs[i], "a")
+            try:
+                return subprocess.Popen(
+                    [
+                        sys.executable, "-m",
+                        "repro.feast.backends.shardworker",
+                        payload_paths[i],
+                    ],
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=env,
+                )
+            finally:
+                log.close()
+
+        running = {i: launch(i) for i in range(len(payload_paths))}
+        while running:
+            finished = [
+                (i, proc) for i, proc in running.items()
+                if proc.poll() is not None
+            ]
+            if not finished:
+                time.sleep(_POLL_INTERVAL)
+                continue
+            for i, proc in finished:
+                del running[i]
+                if proc.returncode == 0:
+                    continue
+                if launches[i] >= request.policy.max_attempts:
+                    warnings.warn(
+                        f"shard {i} exited with code {proc.returncode} on "
+                        f"launch {launches[i]}/"
+                        f"{request.policy.max_attempts}; giving up on the "
+                        f"subprocess and finishing it in-process. Last "
+                        f"output:\n{_log_tail(logs[i])}",
+                        ExperimentWarning,
+                        stacklevel=4,
+                    )
+                    fallback.append(i)
+                    continue
+                warnings.warn(
+                    f"shard {i} exited with code {proc.returncode}; "
+                    f"relaunching (launch {launches[i] + 1}/"
+                    f"{request.policy.max_attempts}) — its journal makes "
+                    "the relaunch incremental",
+                    ExperimentWarning,
+                    stacklevel=4,
+                )
+                running[i] = launch(i)
+        return fallback
+
+    def _finish_in_process(
+        self,
+        request: ExecutionRequest,
+        shard: int,
+        n_shards: int,
+        journal_path: str,
+        outcome: BackendOutcome,
+        seen: Dict[ChunkKey, str],
+    ) -> None:
+        """Degraded path: the parent completes one shard itself.
+
+        The shard's journal is reused, so chunks its worker did manage
+        to complete are replayed, not re-run.
+        """
+        from repro.feast.persistence import CheckpointJournal
+
+        journal = CheckpointJournal(journal_path, request.config)
+        driver = ChunkDriver(
+            request.config,
+            request.instrumentation,
+            request.policy,
+            journal=journal,
+            keys=shard_keys(request.config, shard, n_shards),
+            on_chunk=request.on_chunk,
+            keep_records=request.keep_records,
+        )
+        try:
+            driver.run_in_process()
+        finally:
+            journal.close()
+        sub = driver.outcome()
+        for key, chunk in sub.chunks.items():
+            seen[key] = "" if chunk is None else _chunk_digest(chunk)
+            outcome.chunks[key] = chunk
+        outcome.quarantined.update(sub.quarantined)
+        outcome.failures.extend(sub.failures)
+        outcome.streamed_trials += sub.streamed_trials
+
+    def _merge_summary(
+        self,
+        request: ExecutionRequest,
+        summary_path: str,
+        outcome: BackendOutcome,
+    ) -> None:
+        """Fold one worker's summary: faults + telemetry."""
+        from repro.feast.instrumentation import TrialFailure
+
+        try:
+            with open(summary_path) as fp:
+                summary = json.load(fp)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"shard summary {summary_path!r} is missing or corrupt "
+                f"({exc}) although its worker exited cleanly"
+            ) from exc
+        outcome.failures.extend(
+            TrialFailure(**f) for f in summary.get("failures", [])
+        )
+        for scenario, index, reason in summary.get("quarantined", []):
+            outcome.quarantined[(str(scenario), int(index))] = str(reason)
+        telemetry = summary.get("telemetry")
+        if telemetry is not None and request.instrumentation.telemetry is not None:
+            request.instrumentation.telemetry.adopt_chunk(
+                spans=[Span.from_dict(s) for s in telemetry.get("spans", [])],
+                metrics=MetricsRegistry.from_dict(
+                    telemetry.get("metrics", {})
+                ),
+                resources=[
+                    ResourceSample.from_dict(r)
+                    for r in telemetry.get("resources", [])
+                ],
+            )

@@ -1,0 +1,306 @@
+"""The work-unit contract shared by every execution backend.
+
+One :class:`TrialSpec` is the unit of distributable work: all
+(size × method) trials of a single (scenario, graph-index) pair. The
+spec is tiny and picklable — it carries the experiment config plus the
+chunk coordinates, and the executing process regenerates the task graph
+locally from the (seed, scenario, index) contract
+(:func:`repro.feast.runner.trial_seed`), so no task graph ever crosses a
+process or host boundary. :func:`run_chunk` executes one spec and
+returns a :class:`ChunkResult`; backends differ only in *where* and
+*how many at a time* they call it.
+
+This module used to live inside :mod:`repro.feast.parallel`; it was
+lifted out so that serial, process-pool, and subprocess-shard backends
+(:mod:`repro.feast.backends`) consume one definition of the contract.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import budget
+from repro.errors import ExperimentError
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.resources import ResourceSample, sample_resources
+from repro.obs.spans import Span
+from repro.feast.config import ExperimentConfig, speeds_for
+from repro.feast.instrumentation import (
+    Instrumentation,
+    PhaseTimings,
+    TrialFailure,
+)
+from repro.feast.runner import (
+    TrialRecord,
+    distribute_for_trial,
+    graph_for_trial,
+    make_record,
+    prefetch_distributions,
+    run_trial,
+)
+from repro.machine.system import System
+from repro.machine.topology import make_interconnect
+
+#: Chunk coordinates: (scenario, graph index).
+ChunkKey = Tuple[str, int]
+
+
+def default_jobs() -> int:
+    """The cpu_count-aware default worker count (>= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: ``None``/``0`` means all cores.
+
+    Values above the machine's core count are allowed (the pool is
+    capped at one worker per chunk anyway); negatives are rejected.
+    """
+    if jobs is None or jobs == 0:
+        return default_jobs()
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def is_parallelizable(config: ExperimentConfig) -> bool:
+    """Whether ``config`` can cross a process boundary.
+
+    Configs are plain data except ``graph_factory``, which may be an
+    unpicklable in-process closure; those run serially instead.
+    """
+    if config.graph_factory is None:
+        return True
+    try:
+        pickle.dumps(config)
+    except Exception:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a backend reacts to chunk failures.
+
+    The default comes from the experiment config
+    (:meth:`from_config`: ``max_attempts = config.max_retries + 1``);
+    pass an explicit policy to tune backoff or pool-respawn limits.
+    """
+
+    #: Total attempts per chunk (first run + retries) before quarantine.
+    max_attempts: int = 3
+    #: First-retry backoff delay, seconds.
+    backoff_base: float = 0.25
+    #: Multiplier applied per further retry.
+    backoff_factor: float = 2.0
+    #: Backoff ceiling, seconds.
+    backoff_max: float = 4.0
+    #: Pool deaths tolerated before degrading to in-process execution.
+    max_pool_respawns: int = 8
+    #: Extra seconds granted on top of the per-chunk budget
+    #: (``trial_timeout × trials_per_graph``) before the parent kills an
+    #: overdue chunk; covers graph generation and scheduling jitter.
+    timeout_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ExperimentError("backoff delays must be >= 0")
+        if self.max_pool_respawns < 0:
+            raise ExperimentError(
+                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
+            )
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "RetryPolicy":
+        return cls(max_attempts=config.max_retries + 1)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before resubmitting after the ``attempt``-th failure."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One worker work unit: every (size × method) trial of one graph.
+
+    Carries only the (picklable) config plus the (scenario, index)
+    coordinates; the worker regenerates the graph from its seed.
+    """
+
+    config: ExperimentConfig
+    scenario: str
+    index: int
+
+
+@dataclass
+class ChunkResult:
+    """One completed :class:`TrialSpec`: records keyed for reassembly."""
+
+    scenario: str
+    index: int
+    #: (n_processors, method label) → record, for canonical reordering.
+    records: Dict[Tuple[int, str], TrialRecord] = field(default_factory=dict)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    #: Non-fatal fault events observed inside the worker (slow trials).
+    failures: List[TrialFailure] = field(default_factory=list)
+    #: Telemetry recorded inside the worker when tracing is on: the
+    #: chunk's finished span tree, its local metrics registry, and its
+    #: resource-use delta. All empty/None on untraced runs.
+    spans: List[Span] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+    resources: List[ResourceSample] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.records)
+
+
+def run_chunk(
+    spec: TrialSpec,
+    trial_timeout: Optional[float] = None,
+    attempt: int = 0,
+    trace: bool = False,
+) -> ChunkResult:
+    """Execute one chunk (runs inside a worker process).
+
+    Mirrors the serial loop's per-graph work exactly: same seeds, same
+    distribution reuse, same metrics — only the loop nesting differs,
+    which the parent undoes when reassembling. ``config.batch`` prefetches
+    the chunk's distributions through the batch kernel first, exactly as
+    the serial loop does per scenario (bit-identical records either way). Each (size × method)
+    trial runs under a cooperative wall-clock budget of
+    ``trial_timeout`` seconds (default: the config's); a trial that
+    completes past its budget is kept but flagged with a ``slow-trial``
+    failure event.
+
+    With ``trace=True`` the worker records a local telemetry session —
+    a ``chunk`` span holding one ``trial`` span per (size × method),
+    each with ``generate``/``distribute``/``schedule`` children plus
+    whatever deeper components report (B&B search spans, cache
+    counters) — samples its own RSS/CPU around the chunk, and ships
+    everything back on the :class:`ChunkResult`. Tracing never changes
+    the records: the measured pipeline is identical either way.
+    """
+    config = spec.config
+    timeout = trial_timeout if trial_timeout is not None else config.trial_timeout
+    inst = Instrumentation()
+    chunk = ChunkResult(scenario=spec.scenario, index=spec.index,
+                        timings=inst.timings)
+    telemetry = obs.Telemetry() if trace else None
+    before = sample_resources() if trace else None
+    with obs.activate(telemetry):
+        with obs.span("chunk", scenario=spec.scenario, index=spec.index,
+                      attempt=attempt) as chunk_span:
+            graph_config = config.graph_config.with_scenario(spec.scenario)
+            with inst.phase("generate"):
+                graph = graph_for_trial(
+                    config, graph_config, spec.scenario, spec.index
+                )
+            distributors = {
+                method.label: method.build() for method in config.methods
+            }
+            reusable: Dict[object, object] = {}
+            prefetched: Optional[Dict[object, object]] = None
+            if config.batch:
+                with inst.phase("distribute"):
+                    prefetched = prefetch_distributions(
+                        config, [graph], reusable, indices=[spec.index]
+                    )
+            for n_processors in config.system_sizes:
+                speeds = speeds_for(config.speed_profile, n_processors)
+                system = System(
+                    n_processors,
+                    interconnect=make_interconnect(
+                        config.topology, n_processors
+                    ),
+                    speeds=speeds,
+                )
+                total_capacity = float(sum(speeds))
+                for method in config.methods:
+                    with obs.span("trial", n_processors=n_processors,
+                                  method=method.label), \
+                         budget.trial_deadline(timeout):
+                        began = time.perf_counter()
+                        with inst.phase("distribute"):
+                            assignment = distribute_for_trial(
+                                method,
+                                distributors[method.label],
+                                graph,
+                                n_processors,
+                                total_capacity,
+                                reusable,
+                                (method.label, spec.index),
+                                prefetched,
+                            )
+                        obs.observe(
+                            f"distribute.seconds.n{graph.n_subtasks}",
+                            time.perf_counter() - began,
+                        )
+                        with inst.phase("schedule"):
+                            metrics = run_trial(
+                                graph,
+                                assignment,
+                                system,
+                                policy_name=config.policy,
+                                respect_release_times=(
+                                    config.respect_release_times
+                                ),
+                            )
+                        if budget.expired():
+                            obs.count("engine.faults.slow-trial")
+                            chunk.failures.append(TrialFailure(
+                                scenario=spec.scenario,
+                                index=spec.index,
+                                kind="slow-trial",
+                                message=(
+                                    f"trial (n_processors={n_processors}, "
+                                    f"method={method.label}) overran its "
+                                    f"{timeout:g}s budget; result kept"
+                                ),
+                            ))
+                    chunk.records[(n_processors, method.label)] = make_record(
+                        config, spec.scenario, n_processors, method,
+                        spec.index, assignment, metrics,
+                    )
+            obs.count("engine.chunks_completed")
+            obs.count("engine.trials_measured", len(chunk.records))
+            if chunk_span is not None and before is not None:
+                used = sample_resources().delta(before)
+                chunk_span.annotate(
+                    rss_max_kb=used.rss_max_kb,
+                    cpu_user_s=used.cpu_user_s,
+                    cpu_system_s=used.cpu_system_s,
+                )
+                obs.gauge("worker.rss_max_kb", used.rss_max_kb)
+                chunk.resources.append(used)
+    if telemetry is not None:
+        chunk.spans = telemetry.spans.finished()
+        chunk.metrics = telemetry.metrics
+    return chunk
+
+
+def execute_chunk(
+    spec: TrialSpec,
+    attempt: int,
+    trial_timeout: Optional[float],
+    trace: bool = False,
+) -> ChunkResult:
+    """Worker entry point: fault-injection hook + the chunk itself."""
+    from repro.feast import faultinject
+
+    faultinject.maybe_inject(spec.scenario, spec.index, attempt)
+    return run_chunk(
+        spec, trial_timeout=trial_timeout, attempt=attempt, trace=trace
+    )

@@ -233,6 +233,24 @@ class ExperimentConfig:
         size of one parallel work chunk (see :mod:`repro.feast.parallel`)."""
         return len(self.system_sizes) * len(self.methods)
 
+    def chunk_keys(self) -> Tuple[Tuple[str, int], ...]:
+        """The canonical (scenario, graph-index) chunk coordinates.
+
+        This ordering *is* the work-unit contract every execution
+        backend shares (:mod:`repro.feast.backends`): chunks are
+        enumerated scenario-major, index-minor, so a chunk's ordinal in
+        this tuple is stable across processes and hosts. Shard backends
+        partition work by that ordinal, and the streaming merge
+        reassembles records in exactly this order — which is why any
+        backend, at any shard count, reproduces the serial records
+        byte for byte.
+        """
+        return tuple(
+            (scenario, index)
+            for scenario in self.scenarios
+            for index in range(self.n_graphs)
+        )
+
     @property
     def n_trials(self) -> int:
         """Total scheduling runs this experiment performs.

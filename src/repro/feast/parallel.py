@@ -1,753 +1,72 @@
-"""Fault-tolerant parallel experiment execution over a process pool.
+"""The experiment orchestrator over pluggable execution backends.
 
-The serial runner iterates scenario → size → method → graph in one
-4-deep loop; paper-scale sweeps (Figures 2–5: 128 graphs × 9 sizes × 3
-scenarios × several methods) bottleneck on one core. This engine fans
-the same trials out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-while guaranteeing **record identity**: ``run_experiment(config, jobs=N)``
-returns exactly the records a serial run returns, in exactly the serial
-order, for any ``N``.
+Historically this module *was* the parallel engine — work-unit
+contract, process-pool supervisor, and canonical reassembly in one
+file. The engine now lives in :mod:`repro.feast.backends` (the
+work-unit contract in ``backends.work``, the shared chunk driver in
+``backends.base``, one module per backend); what remains here is the
+orchestration that every backend shares, plus re-exports of the moved
+names so existing imports keep working.
 
-Work unit
+:func:`run_parallel_experiment` is the supervised engine behind
+``run_experiment``: it resolves the backend (``serial`` for one job,
+``pool`` for many, or any registered name passed explicitly), opens the
+run span, hands the backend an
+:class:`~repro.feast.backends.ExecutionRequest`, and assembles the
+returned chunks into canonical records — byte-identical across
+backends, worker counts, and shard counts. See the package docstring of
+:mod:`repro.feast.backends` for the guarantees, and DESIGN.md §9 for
+the determinism argument.
+
+Streaming
 ---------
-One :class:`TrialSpec` covers *all* (size × method) trials of a single
-(scenario, graph-index) pair:
-
-* the spec is tiny and picklable — the worker regenerates the graph from
-  the per-(scenario, index) seed (:func:`repro.feast.runner.trial_seed`),
-  so no task graph ever crosses the pipe;
-* size-independent deadline distributions are computed once per method
-  inside the chunk, preserving the serial runner's reuse semantics (the
-  cache is per-graph in both engines, so cached work is never recomputed
-  differently);
-* each worker times its own generate/distribute/schedule phases and
-  ships a :class:`~repro.feast.instrumentation.PhaseTimings` back with
-  its records; the parent merges them and fires progress callbacks as
-  chunks arrive over the executor's results queue.
-
-Determinism
------------
-Chunks complete in arbitrary order; the parent buffers them keyed by
-(scenario, index) and reassembles the canonical serial order
-scenario → size → method → index before returning. Combined with the
-seeding contract, parallel output is byte-identical to serial output.
-
-Fault tolerance
----------------
-A supervisor (:class:`_ChunkSupervisor`) sits between the specs and the
-pool so that one bad trial can no longer take down a paper-scale sweep:
-
-* **Trial timeouts** — ``config.trial_timeout`` gives every trial a
-  wall-clock budget, enforced cooperatively inside workers via
-  :mod:`repro.budget` (the branch-and-bound scheduler polls it and falls
-  back to its list-scheduler incumbent) and, for hard hangs, by the
-  parent killing any chunk that overruns its whole-chunk budget.
-* **Retry with backoff** — a failed chunk is resubmitted with
-  exponential backoff, up to ``config.max_retries`` retries. The same
-  exception on two consecutive attempts marks the fault deterministic
-  and quarantines the chunk immediately; transient faults (killed
-  workers, broken pools) get their full retry allowance.
-* **Quarantine over crash** — a chunk that exhausts its attempts is
-  quarantined: its trials are recorded as
-  :class:`~repro.feast.instrumentation.TrialFailure` events in
-  ``ExperimentResult.failures``/``.quarantined`` and the sweep keeps
-  going. The run always completes.
-* **Pool supervision** — a :class:`BrokenProcessPool` respawns the
-  executor and requeues in-flight chunks. Crash *attribution* uses
-  probation: after a multi-chunk pool death the suspects re-run one at a
-  time, so the chunk that keeps killing workers consumes attempts while
-  innocent bystanders are requeued free of charge. After
-  ``RetryPolicy.max_pool_respawns`` deaths the engine degrades to
-  in-process serial execution with an :class:`ExperimentWarning` instead
-  of aborting.
-* **Checkpoint/resume** — with ``checkpoint=path`` every completed chunk
-  is journaled (append-only, fsynced) as it arrives; a rerun replays the
-  journal, re-runs only the missing chunks, and returns records
-  byte-identical to an uninterrupted run. See
-  :class:`~repro.feast.persistence.CheckpointJournal`.
+``record_sink`` switches the engine into streaming mode: every
+completed chunk's records are folded into the sink (in canonical
+size → method order within the chunk) as the chunk completes —
+including chunks replayed from a checkpoint — and then dropped, so
+peak resident records are bounded by the chunk size, not the sweep
+size. The result carries no record list (``records == []``,
+``streamed_trials`` counts what flowed through); pair it with
+:class:`repro.feast.aggregate.StreamingAggregator` for paper-scale
+sweeps whose aggregates are all you keep.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
 import time
-import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures import BrokenExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, List, Optional
 
-from repro import budget
-from repro.errors import (
-    ExperimentError,
-    ExperimentWarning,
-    TrialTimeoutError,
-    WorkerCrashError,
-)
+from repro.errors import ExperimentError
 from repro.obs import runtime as obs
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.resources import ResourceSample, sample_resources
-from repro.obs.spans import Span
-from repro.feast.config import ExperimentConfig, speeds_for
-from repro.feast.instrumentation import (
-    Instrumentation,
-    PhaseTimings,
-    TrialFailure,
+from repro.obs.resources import sample_resources
+from repro.feast.config import ExperimentConfig
+from repro.feast.instrumentation import Instrumentation
+from repro.feast.runner import ExperimentResult, TrialRecord
+
+# Re-exports: this module's original public (and commonly used) names,
+# now implemented in repro.feast.backends.
+from repro.feast.backends.base import (  # noqa: F401
+    BackendOutcome,
+    ChunkDriver,
+    ExecutionBackend,
+    ExecutionRequest,
+    assemble_records,
 )
-from repro.feast.runner import (
-    ExperimentResult,
-    TrialRecord,
-    distribute_for_trial,
-    graph_for_trial,
-    make_record,
-    prefetch_distributions,
-    run_trial,
+from repro.feast.backends.work import (  # noqa: F401
+    ChunkKey,
+    ChunkResult,
+    RetryPolicy,
+    TrialSpec,
+    default_jobs,
+    execute_chunk,
+    is_parallelizable,
+    resolve_jobs,
+    run_chunk,
 )
-from repro.machine.system import System
-from repro.machine.topology import make_interconnect
+from repro.feast.backends import make_backend  # noqa: F401
 
-#: Chunk coordinates: (scenario, graph index).
-ChunkKey = Tuple[str, int]
-
-
-def default_jobs() -> int:
-    """The cpu_count-aware default worker count (>= 1)."""
-    return max(1, os.cpu_count() or 1)
-
-
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``jobs`` request: ``None``/``0`` means all cores.
-
-    Values above the machine's core count are allowed (the pool is
-    capped at one worker per chunk anyway); negatives are rejected.
-    """
-    if jobs is None or jobs == 0:
-        return default_jobs()
-    if jobs < 0:
-        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
-    return jobs
-
-
-def is_parallelizable(config: ExperimentConfig) -> bool:
-    """Whether ``config`` can cross a process boundary.
-
-    Configs are plain data except ``graph_factory``, which may be an
-    unpicklable in-process closure; those run serially instead.
-    """
-    if config.graph_factory is None:
-        return True
-    try:
-        pickle.dumps(config)
-    except Exception:
-        return False
-    return True
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How the supervisor reacts to chunk failures.
-
-    The default comes from the experiment config
-    (:meth:`from_config`: ``max_attempts = config.max_retries + 1``);
-    pass an explicit policy to tune backoff or pool-respawn limits.
-    """
-
-    #: Total attempts per chunk (first run + retries) before quarantine.
-    max_attempts: int = 3
-    #: First-retry backoff delay, seconds.
-    backoff_base: float = 0.25
-    #: Multiplier applied per further retry.
-    backoff_factor: float = 2.0
-    #: Backoff ceiling, seconds.
-    backoff_max: float = 4.0
-    #: Pool deaths tolerated before degrading to in-process execution.
-    max_pool_respawns: int = 8
-    #: Extra seconds granted on top of the per-chunk budget
-    #: (``trial_timeout × trials_per_graph``) before the parent kills an
-    #: overdue chunk; covers graph generation and scheduling jitter.
-    timeout_grace: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ExperimentError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.backoff_base < 0 or self.backoff_max < 0:
-            raise ExperimentError("backoff delays must be >= 0")
-        if self.max_pool_respawns < 0:
-            raise ExperimentError(
-                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
-            )
-
-    @classmethod
-    def from_config(cls, config: ExperimentConfig) -> "RetryPolicy":
-        return cls(max_attempts=config.max_retries + 1)
-
-    def backoff(self, attempt: int) -> float:
-        """Delay before resubmitting after the ``attempt``-th failure."""
-        return min(
-            self.backoff_max,
-            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
-        )
-
-
-@dataclass(frozen=True)
-class TrialSpec:
-    """One worker work unit: every (size × method) trial of one graph.
-
-    Carries only the (picklable) config plus the (scenario, index)
-    coordinates; the worker regenerates the graph from its seed.
-    """
-
-    config: ExperimentConfig
-    scenario: str
-    index: int
-
-
-@dataclass
-class ChunkResult:
-    """One completed :class:`TrialSpec`: records keyed for reassembly."""
-
-    scenario: str
-    index: int
-    #: (n_processors, method label) → record, for canonical reordering.
-    records: Dict[Tuple[int, str], TrialRecord] = field(default_factory=dict)
-    timings: PhaseTimings = field(default_factory=PhaseTimings)
-    #: Non-fatal fault events observed inside the worker (slow trials).
-    failures: List[TrialFailure] = field(default_factory=list)
-    #: Telemetry recorded inside the worker when tracing is on: the
-    #: chunk's finished span tree, its local metrics registry, and its
-    #: resource-use delta. All empty/None on untraced runs.
-    spans: List[Span] = field(default_factory=list)
-    metrics: Optional[MetricsRegistry] = None
-    resources: List[ResourceSample] = field(default_factory=list)
-
-    @property
-    def n_trials(self) -> int:
-        return len(self.records)
-
-
-def run_chunk(
-    spec: TrialSpec,
-    trial_timeout: Optional[float] = None,
-    attempt: int = 0,
-    trace: bool = False,
-) -> ChunkResult:
-    """Execute one chunk (runs inside a worker process).
-
-    Mirrors the serial loop's per-graph work exactly: same seeds, same
-    distribution reuse, same metrics — only the loop nesting differs,
-    which the parent undoes when reassembling. ``config.batch`` prefetches
-    the chunk's distributions through the batch kernel first, exactly as
-    the serial loop does per scenario (bit-identical records either way). Each (size × method)
-    trial runs under a cooperative wall-clock budget of
-    ``trial_timeout`` seconds (default: the config's); a trial that
-    completes past its budget is kept but flagged with a ``slow-trial``
-    failure event.
-
-    With ``trace=True`` the worker records a local telemetry session —
-    a ``chunk`` span holding one ``trial`` span per (size × method),
-    each with ``generate``/``distribute``/``schedule`` children plus
-    whatever deeper components report (B&B search spans, cache
-    counters) — samples its own RSS/CPU around the chunk, and ships
-    everything back on the :class:`ChunkResult`. Tracing never changes
-    the records: the measured pipeline is identical either way.
-    """
-    config = spec.config
-    timeout = trial_timeout if trial_timeout is not None else config.trial_timeout
-    inst = Instrumentation()
-    chunk = ChunkResult(scenario=spec.scenario, index=spec.index,
-                        timings=inst.timings)
-    telemetry = obs.Telemetry() if trace else None
-    before = sample_resources() if trace else None
-    with obs.activate(telemetry):
-        with obs.span("chunk", scenario=spec.scenario, index=spec.index,
-                      attempt=attempt) as chunk_span:
-            graph_config = config.graph_config.with_scenario(spec.scenario)
-            with inst.phase("generate"):
-                graph = graph_for_trial(
-                    config, graph_config, spec.scenario, spec.index
-                )
-            distributors = {
-                method.label: method.build() for method in config.methods
-            }
-            reusable: Dict[object, object] = {}
-            prefetched: Optional[Dict[object, object]] = None
-            if config.batch:
-                with inst.phase("distribute"):
-                    prefetched = prefetch_distributions(
-                        config, [graph], reusable, indices=[spec.index]
-                    )
-            for n_processors in config.system_sizes:
-                speeds = speeds_for(config.speed_profile, n_processors)
-                system = System(
-                    n_processors,
-                    interconnect=make_interconnect(
-                        config.topology, n_processors
-                    ),
-                    speeds=speeds,
-                )
-                total_capacity = float(sum(speeds))
-                for method in config.methods:
-                    with obs.span("trial", n_processors=n_processors,
-                                  method=method.label), \
-                         budget.trial_deadline(timeout):
-                        began = time.perf_counter()
-                        with inst.phase("distribute"):
-                            assignment = distribute_for_trial(
-                                method,
-                                distributors[method.label],
-                                graph,
-                                n_processors,
-                                total_capacity,
-                                reusable,
-                                (method.label, spec.index),
-                                prefetched,
-                            )
-                        obs.observe(
-                            f"distribute.seconds.n{graph.n_subtasks}",
-                            time.perf_counter() - began,
-                        )
-                        with inst.phase("schedule"):
-                            metrics = run_trial(
-                                graph,
-                                assignment,
-                                system,
-                                policy_name=config.policy,
-                                respect_release_times=(
-                                    config.respect_release_times
-                                ),
-                            )
-                        if budget.expired():
-                            obs.count("engine.faults.slow-trial")
-                            chunk.failures.append(TrialFailure(
-                                scenario=spec.scenario,
-                                index=spec.index,
-                                kind="slow-trial",
-                                message=(
-                                    f"trial (n_processors={n_processors}, "
-                                    f"method={method.label}) overran its "
-                                    f"{timeout:g}s budget; result kept"
-                                ),
-                            ))
-                    chunk.records[(n_processors, method.label)] = make_record(
-                        config, spec.scenario, n_processors, method,
-                        spec.index, assignment, metrics,
-                    )
-            obs.count("engine.chunks_completed")
-            obs.count("engine.trials_measured", len(chunk.records))
-            if chunk_span is not None and before is not None:
-                used = sample_resources().delta(before)
-                chunk_span.annotate(
-                    rss_max_kb=used.rss_max_kb,
-                    cpu_user_s=used.cpu_user_s,
-                    cpu_system_s=used.cpu_system_s,
-                )
-                obs.gauge("worker.rss_max_kb", used.rss_max_kb)
-                chunk.resources.append(used)
-    if telemetry is not None:
-        chunk.spans = telemetry.spans.finished()
-        chunk.metrics = telemetry.metrics
-    return chunk
-
-
-def _execute_chunk(
-    spec: TrialSpec,
-    attempt: int,
-    trial_timeout: Optional[float],
-    trace: bool = False,
-) -> ChunkResult:
-    """Worker entry point: fault-injection hook + the chunk itself."""
-    from repro.feast import faultinject
-
-    faultinject.maybe_inject(spec.scenario, spec.index, attempt)
-    return run_chunk(
-        spec, trial_timeout=trial_timeout, attempt=attempt, trace=trace
-    )
-
-
-@dataclass
-class _ChunkState:
-    """Supervisor-side bookkeeping of one chunk's execution attempts."""
-
-    spec: TrialSpec
-    #: Failed attempts consumed so far (also the next attempt's number).
-    attempt: int = 0
-    #: Monotonic time before which the chunk must not be resubmitted.
-    eligible_at: float = 0.0
-    #: (exception type name, message) of the previous failure.
-    last_signature: Optional[Tuple[str, str]] = None
-    #: Suspected of killing the pool — re-run alone until cleared.
-    suspect: bool = False
-
-
-class _ChunkSupervisor:
-    """Drives every chunk of one experiment to done-or-quarantined."""
-
-    def __init__(
-        self,
-        config: ExperimentConfig,
-        n_jobs: int,
-        inst: Instrumentation,
-        policy: RetryPolicy,
-        journal=None,
-    ) -> None:
-        self.config = config
-        self.n_jobs = n_jobs
-        self.inst = inst
-        self.policy = policy
-        self.journal = journal
-        #: Whether workers should record and ship telemetry.
-        self.trace = inst.telemetry is not None
-        self.states: Dict[ChunkKey, _ChunkState] = {}
-        self.waiting: List[ChunkKey] = []
-        self.done: Dict[ChunkKey, ChunkResult] = {}
-        self.quarantined: Dict[ChunkKey, str] = {}
-        self.failures: List[TrialFailure] = []
-        self.pool_deaths = 0
-        self.degraded_reason: Optional[str] = None
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._inflight: Dict[object, ChunkKey] = {}
-        self._started: Dict[ChunkKey, float] = {}
-        timeout = config.trial_timeout
-        self._chunk_budget: Optional[float] = (
-            None if timeout is None
-            else timeout * config.trials_per_graph
-            + max(policy.timeout_grace, timeout)
-        )
-        for scenario in config.scenarios:
-            for index in range(config.n_graphs):
-                key = (scenario, index)
-                if journal is not None and key in journal.replayed:
-                    replayed = journal.replayed[key]
-                    self.done[key] = replayed
-                    self.failures.extend(replayed.failures)
-                    inst.replayed(replayed.timings, replayed.n_trials)
-                    continue
-                self.states[key] = _ChunkState(
-                    spec=TrialSpec(config=config, scenario=scenario,
-                                   index=index)
-                )
-                self.waiting.append(key)
-
-    # -- outcome handling ----------------------------------------------
-    def _complete(self, key: ChunkKey, chunk: ChunkResult) -> None:
-        self.states[key].suspect = False
-        self.done[key] = chunk
-        self.failures.extend(chunk.failures)
-        for failure in chunk.failures:
-            self.inst.record_failure(failure)
-        if self.journal is not None:
-            self.journal.append(chunk)
-        if self.inst.telemetry is not None:
-            # Graft the worker's span tree under the run span and fold
-            # its metrics/resource samples into the run's registry.
-            self.inst.telemetry.adopt_chunk(
-                chunk.spans, chunk.metrics, chunk.resources
-            )
-        self.inst.absorb(chunk.timings, chunk.n_trials)
-
-    def _fail(self, key: ChunkKey, kind: str, exc: BaseException) -> None:
-        """Consume one attempt of ``key``; requeue or quarantine it."""
-        state = self.states[key]
-        state.attempt += 1
-        signature = (type(exc).__name__, str(exc))
-        failure = TrialFailure(
-            scenario=key[0], index=key[1], kind=kind,
-            message=f"{signature[0]}: {signature[1]}",
-            attempt=state.attempt,
-        )
-        self.failures.append(failure)
-        self.inst.record_failure(failure)
-        deterministic = (
-            kind == "exception" and state.last_signature == signature
-        )
-        state.last_signature = signature
-        if deterministic:
-            self._quarantine(key, (
-                f"deterministic failure (identical exception on "
-                f"consecutive attempts): {failure.message}"
-            ))
-        elif state.attempt >= self.policy.max_attempts:
-            self._quarantine(key, (
-                f"exhausted {self.policy.max_attempts} attempts; last "
-                f"failure ({kind}): {failure.message}"
-            ))
-        else:
-            self.inst.retried()
-            state.eligible_at = (
-                time.monotonic() + self.policy.backoff(state.attempt)
-            )
-            self.waiting.append(key)
-
-    def _quarantine(self, key: ChunkKey, reason: str) -> None:
-        self.quarantined[key] = reason
-        self.inst.quarantine()
-        failure = TrialFailure(
-            scenario=key[0], index=key[1], kind="quarantine",
-            message=reason, attempt=self.states[key].attempt,
-        )
-        self.failures.append(failure)
-        self.inst.record_failure(failure)
-
-    # -- pool management -----------------------------------------------
-    def _spawn_pool(self) -> None:
-        max_workers = min(self.n_jobs, max(1, len(self.states)))
-        self._pool = ProcessPoolExecutor(max_workers=max_workers)
-
-    def _discard_pool(self, kill: bool = False) -> None:
-        if self._pool is None:
-            return
-        if kill:
-            for process in list(
-                getattr(self._pool, "_processes", {}).values()
-            ):
-                try:
-                    process.kill()
-                except Exception:
-                    pass
-        try:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
-        self._pool = None
-
-    def _submit(self, key: ChunkKey) -> bool:
-        state = self.states[key]
-        try:
-            future = self._pool.submit(
-                _execute_chunk, state.spec, state.attempt,
-                self.config.trial_timeout, self.trace,
-            )
-        except BrokenExecutor:
-            return False
-        self._inflight[future] = key
-        self._started[key] = time.monotonic()
-        return True
-
-    def _probation(self) -> bool:
-        """Whether any chunk is suspected of killing workers."""
-        return any(
-            self.states[k].suspect
-            for k in list(self.waiting) + list(self._inflight.values())
-        )
-
-    def _submittable(self, now: float) -> List[ChunkKey]:
-        if self._probation():
-            if self._inflight:
-                return []
-            ready = sorted(
-                (k for k in self.waiting
-                 if self.states[k].suspect
-                 and self.states[k].eligible_at <= now),
-                key=lambda k: self.states[k].eligible_at,
-            )
-            return ready[:1]
-        return [k for k in self.waiting if self.states[k].eligible_at <= now]
-
-    def _next_eligible(self) -> float:
-        keys = (
-            [k for k in self.waiting if self.states[k].suspect]
-            if self._probation() else self.waiting
-        )
-        return min(self.states[k].eligible_at for k in keys)
-
-    def _wait_timeout(self, now: float) -> Optional[float]:
-        deadlines: List[float] = []
-        if self._chunk_budget is not None:
-            deadlines.extend(
-                started + self._chunk_budget
-                for started in self._started.values()
-            )
-        deadlines.extend(
-            self.states[k].eligible_at for k in self.waiting
-        )
-        if not deadlines:
-            return None
-        return max(0.0, min(deadlines) - now)
-
-    # -- event handling ------------------------------------------------
-    def _drain(self, finished) -> List[ChunkKey]:
-        """Process completed futures; return keys hit by a pool break."""
-        broken: List[ChunkKey] = []
-        for future in finished:
-            key = self._inflight.pop(future)
-            self._started.pop(key, None)
-            try:
-                chunk = future.result()
-            except BrokenExecutor:
-                broken.append(key)
-            except Exception as exc:
-                self._fail(key, "exception", exc)
-            else:
-                self._complete(key, chunk)
-        return broken
-
-    def _on_pool_break(self, broken: List[ChunkKey]) -> None:
-        """A worker died: respawn the pool and requeue in-flight chunks.
-
-        With exactly one victim the crash is attributed to it (an attempt
-        is consumed). With several, nobody can tell which chunk killed
-        the worker, so all victims are requeued free of charge but marked
-        suspect — they then re-run one at a time until each either
-        completes or crashes alone (precise attribution).
-        """
-        victims = list(broken)
-        victims.extend(self._inflight.values())
-        self._inflight.clear()
-        self._started.clear()
-        self._discard_pool()
-        self.pool_deaths += 1
-        self.inst.pool_respawned()
-        now = time.monotonic()
-        if len(victims) == 1:
-            key = victims[0]
-            self.states[key].suspect = True
-            self._fail(key, "crash", WorkerCrashError(
-                f"worker process died while running chunk "
-                f"(scenario={key[0]}, graph={key[1]})"
-            ))
-        else:
-            for key in victims:
-                state = self.states[key]
-                state.suspect = True
-                state.eligible_at = now
-                self.waiting.append(key)
-        if self.pool_deaths > self.policy.max_pool_respawns:
-            self.degraded_reason = (
-                f"process pool died {self.pool_deaths} times "
-                f"(> max_pool_respawns={self.policy.max_pool_respawns}); "
-                "degraded to in-process serial execution"
-            )
-            return
-        self._spawn_pool()
-
-    def _check_overdue(self) -> None:
-        """Kill the pool if any chunk overran its wall-clock budget."""
-        if self._chunk_budget is None or not self._started:
-            return
-        now = time.monotonic()
-        overdue = [
-            key for key, started in self._started.items()
-            if now - started > self._chunk_budget
-        ]
-        if not overdue:
-            return
-        # Collect any results that finished while we were deciding.
-        finished, _ = wait(set(self._inflight), timeout=0)
-        broken = self._drain(finished)
-        if broken:
-            self._on_pool_break(broken)
-            return
-        overdue = [
-            key for key, started in self._started.items()
-            if now - started > self._chunk_budget
-        ]
-        if not overdue:
-            return
-        # The hang is attributed precisely (we know which chunks are
-        # overdue), so this deliberate kill does not count as a pool
-        # death; innocent in-flight chunks are requeued free of charge.
-        self._discard_pool(kill=True)
-        survivors = [
-            key for key in self._inflight.values() if key not in overdue
-        ]
-        self._inflight.clear()
-        self._started.clear()
-        for key in overdue:
-            self._fail(key, "timeout", TrialTimeoutError(
-                f"chunk (scenario={key[0]}, graph={key[1]}) exceeded its "
-                f"{self._chunk_budget:.3g}s budget "
-                f"({self.config.trials_per_graph} trials x "
-                f"{self.config.trial_timeout:g}s trial timeout)"
-            ))
-        now = time.monotonic()
-        for key in survivors:
-            self.states[key].eligible_at = now
-            self.waiting.append(key)
-        self._spawn_pool()
-
-    # -- main loops ----------------------------------------------------
-    def _outstanding(self) -> int:
-        return len(self.states) - sum(
-            1 for k in self.states if k in self.done or k in self.quarantined
-        )
-
-    def run(self, in_process: bool) -> None:
-        """Drive every chunk to completion or quarantine."""
-        if in_process:
-            self._run_in_process()
-            return
-        self._spawn_pool()
-        try:
-            while self._outstanding() > 0:
-                if self.degraded_reason is not None:
-                    warnings.warn(
-                        f"experiment {self.config.name!r}: "
-                        f"{self.degraded_reason}",
-                        ExperimentWarning,
-                        stacklevel=3,
-                    )
-                    self._run_in_process()
-                    return
-                now = time.monotonic()
-                submitted_all = True
-                for key in self._submittable(now):
-                    self.waiting.remove(key)
-                    if not self._submit(key):
-                        # The pool broke between waits; requeue and treat
-                        # it as a break with no attributable victim.
-                        self.waiting.append(key)
-                        self._on_pool_break([])
-                        submitted_all = False
-                        break
-                if not submitted_all:
-                    continue
-                if not self._inflight:
-                    # Everything runnable is backing off.
-                    delay = self._next_eligible() - time.monotonic()
-                    if delay > 0:
-                        time.sleep(min(delay, 1.0))
-                    continue
-                finished, _ = wait(
-                    set(self._inflight),
-                    timeout=self._wait_timeout(time.monotonic()),
-                    return_when=FIRST_COMPLETED,
-                )
-                broken = self._drain(finished)
-                if broken:
-                    self._on_pool_break(broken)
-                    continue
-                self._check_overdue()
-        finally:
-            self._discard_pool()
-
-    def _run_in_process(self) -> None:
-        """Serial fallback: run remaining chunks in this process.
-
-        Exceptions get the same retry/quarantine treatment as in pool
-        mode; crash/hang protection requires worker processes and is
-        unavailable here (injected crashes are parent-safe by design —
-        see :mod:`repro.feast.faultinject`).
-        """
-        while self.waiting:
-            now = time.monotonic()
-            key = min(self.waiting, key=lambda k: self.states[k].eligible_at)
-            delay = self.states[key].eligible_at - now
-            if delay > 0:
-                time.sleep(delay)
-            self.waiting.remove(key)
-            state = self.states[key]
-            try:
-                chunk = _execute_chunk(
-                    state.spec, state.attempt, self.config.trial_timeout,
-                    self.trace,
-                )
-            except Exception as exc:
-                self._fail(key, "exception", exc)
-            else:
-                self._complete(key, chunk)
+#: Streaming record hook: called once per record, as chunks complete.
+RecordSink = Callable[[TrialRecord], None]
 
 
 def run_parallel_experiment(
@@ -758,51 +77,70 @@ def run_parallel_experiment(
     checkpoint: Optional[str] = None,
     retry: Optional[RetryPolicy] = None,
     fallback_reason: Optional[str] = None,
+    backend: Optional[str] = None,
+    shards: int = 2,
+    record_sink: Optional[RecordSink] = None,
 ) -> ExperimentResult:
-    """Execute ``config`` over ``jobs`` worker processes, fault-tolerantly.
+    """Execute ``config`` on an execution backend, fault-tolerantly.
 
-    Prefer calling :func:`repro.feast.runner.run_experiment` with
-    ``jobs=N``, which handles serial fallback; this is the engine behind
-    it. ``jobs=1`` runs the chunks in-process (still with retry,
-    quarantine, and checkpointing). Records come back in canonical
-    serial order; quarantined chunks' trials are omitted and listed in
-    ``ExperimentResult.quarantined``.
+    Prefer calling :func:`repro.feast.runner.run_experiment`, which
+    handles serial fallback; this is the engine behind it. ``backend``
+    names a registered backend (default: ``"serial"`` when the resolved
+    ``jobs`` is 1, else ``"pool"``); ``shards`` only matters to the
+    ``subprocess`` backend. Records come back in canonical serial order
+    regardless of backend; quarantined chunks' trials are omitted and
+    listed in ``ExperimentResult.quarantined``. With ``record_sink``
+    set, records stream through the sink instead (see module
+    docstring).
     """
     started = time.perf_counter()
     n_jobs = resolve_jobs(jobs)
-    in_process = n_jobs == 1
-    if not in_process and not is_parallelizable(config):
-        raise ExperimentError(
-            f"experiment {config.name!r} carries an unpicklable "
-            "graph_factory; run it with jobs=1"
-        )
+    backend_name = backend if backend is not None else (
+        "serial" if n_jobs == 1 else "pool"
+    )
+    engine = make_backend(backend_name)
+
     inst = instrumentation if instrumentation is not None else Instrumentation()
     if progress is not None:
         inst.add_progress(progress)
-    inst.start(config.n_trials)
     policy = retry if retry is not None else RetryPolicy.from_config(config)
 
-    journal = None
-    if checkpoint is not None:
-        from repro.feast.persistence import CheckpointJournal
+    on_chunk = None
+    keep_records = True
+    if record_sink is not None:
+        keep_records = False
 
-        journal = CheckpointJournal(checkpoint, config)
+        def on_chunk(key: ChunkKey, chunk) -> None:
+            # Canonical order *within* the chunk; chunk arrival order is
+            # backend-dependent, so sinks must be order-independent
+            # across chunks (StreamingAggregator is).
+            for n_processors in config.system_sizes:
+                for method in config.methods:
+                    record_sink(chunk.records[(n_processors, method.label)])
+
+    request = ExecutionRequest(
+        config=config,
+        instrumentation=inst,
+        policy=policy,
+        checkpoint=checkpoint,
+        jobs=n_jobs,
+        shards=shards,
+        supervised=True,
+        on_chunk=on_chunk,
+        keep_records=keep_records,
+    )
+    engine.prepare(request)
+    inst.start(config.n_trials)
+
     parent_sample = (
         sample_resources() if inst.telemetry is not None else None
     )
     with obs.activate(inst.telemetry):
         with obs.toplevel_span(
             "run", experiment=config.name, jobs=n_jobs,
-            engine="in-process" if in_process else "pool",
+            engine=backend_name,
         ):
-            supervisor = _ChunkSupervisor(
-                config, n_jobs, inst, policy, journal
-            )
-            try:
-                supervisor.run(in_process=in_process)
-            finally:
-                if journal is not None:
-                    journal.close()
+            outcome = engine.run(request)
         if parent_sample is not None:
             used = sample_resources().delta(parent_sample)
             obs.gauge("parent.rss_max_kb", used.rss_max_kb)
@@ -810,37 +148,33 @@ def run_parallel_experiment(
     inst.finish()
 
     quarantined = sorted(
-        supervisor.quarantined,
+        outcome.quarantined,
         key=lambda k: (config.scenarios.index(k[0]), k[1]),
     )
-    records: List[TrialRecord] = []
-    for scenario in config.scenarios:
-        for n_processors in config.system_sizes:
-            for method in config.methods:
-                for index in range(config.n_graphs):
-                    key = (scenario, index)
-                    if key in supervisor.quarantined:
-                        continue
-                    records.append(
-                        supervisor.done[key].records[
-                            (n_processors, method.label)
-                        ]
-                    )
     expected = config.n_trials - config.trials_per_graph * len(quarantined)
-    if len(records) != expected:
+    records: List[TrialRecord] = []
+    if keep_records:
+        records = assemble_records(config, outcome.chunks, outcome.quarantined)
+        if len(records) != expected:
+            raise ExperimentError(
+                f"experiment {config.name!r} produced {len(records)} records "
+                f"but planned {expected}"
+            )
+    elif outcome.streamed_trials != expected:
         raise ExperimentError(
-            f"experiment {config.name!r} produced {len(records)} records "
-            f"but planned {expected}"
+            f"experiment {config.name!r} streamed {outcome.streamed_trials} "
+            f"records but planned {expected}"
         )
-    if supervisor.degraded_reason is not None and fallback_reason is None:
-        fallback_reason = supervisor.degraded_reason
+    if outcome.degraded_reason is not None and fallback_reason is None:
+        fallback_reason = outcome.degraded_reason
     return ExperimentResult(
         config=config,
         records=records,
         elapsed_seconds=time.perf_counter() - started,
         timings=inst.timings,
         jobs=n_jobs,
-        failures=list(supervisor.failures),
+        failures=list(outcome.failures),
         quarantined=quarantined,
         fallback_reason=fallback_reason,
+        streamed_trials=outcome.streamed_trials,
     )

@@ -30,7 +30,7 @@ import json
 import os
 import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, IO, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import CheckpointError, ExperimentWarning, SerializationError
 from repro.feast.aggregate import mean_max_lateness
@@ -240,15 +240,50 @@ class ReplayedChunk:
         return len(self.records)
 
 
+def _decode_chunk_line(
+    data: Dict[str, Any], path: str, lineno: int
+) -> ReplayedChunk:
+    """Decode one journal chunk line (shared by replay and streaming)."""
+    try:
+        if data.get("kind") != "chunk":
+            raise KeyError("kind")
+        return ReplayedChunk(
+            scenario=str(data["scenario"]),
+            index=int(data["index"]),
+            records={
+                (int(e["size"]), str(e["method"])): TrialRecord(
+                    **e["record"]
+                )
+                for e in data["records"]
+            },
+            timings=PhaseTimings(
+                **{k: float(v) for k, v in data["timings"].items()}
+            ),
+            failures=[
+                TrialFailure(**f) for f in data.get("failures", [])
+            ],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"malformed chunk on checkpoint line {lineno} in "
+            f"{path!r}: {exc}"
+        ) from exc
+
+
 class CheckpointJournal:
     """Append-only journal of completed trial chunks.
 
     Line 1 is a header (format, version, config fingerprint); every
     further line is one completed chunk's records, timings, and non-fatal
-    failure events. Appends are flushed and fsynced, so after a crash the
-    journal holds every chunk whose append returned — at worst plus one
-    truncated trailing line, which :meth:`_open_existing` repairs (the
-    interrupted chunk is simply re-run).
+    failure events. Each append is **one** ``write(2)`` on an
+    ``O_APPEND`` descriptor followed by an ``fsync``: the kernel serializes
+    O_APPEND writes, so concurrent shard workers appending to *separate*
+    journals (or a crashed-and-relaunched worker reopening its own) can
+    never interleave partial records, and after a crash the journal holds
+    every chunk whose append returned — at worst plus one torn trailing
+    line (a write cut short mid-syscall by the kill), which
+    :meth:`_open_existing` repairs (the interrupted chunk is simply
+    re-run).
     """
 
     def __init__(self, path: str, config: ExperimentConfig) -> None:
@@ -258,7 +293,7 @@ class CheckpointJournal:
         #: Chunks recovered from an existing journal, keyed by
         #: (scenario, graph index).
         self.replayed: Dict[Tuple[str, int], ReplayedChunk] = {}
-        self._fp: Optional[IO[str]] = None
+        self._fd: Optional[int] = None
         try:
             exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
         except OSError as exc:
@@ -266,9 +301,9 @@ class CheckpointJournal:
                 f"cannot stat checkpoint {self.path!r}: {exc}"
             ) from exc
         if exists:
-            self._fp = self._open_existing()
+            self._fd = self._open_existing()
         else:
-            self._fp = self._create()
+            self._fd = self._create()
 
     # ------------------------------------------------------------------
     def _header_line(self) -> str:
@@ -282,24 +317,24 @@ class CheckpointJournal:
             sort_keys=True,
         )
 
-    def _create(self) -> IO[str]:
+    def _create(self) -> int:
         directory = os.path.dirname(self.path) or "."
         if not os.path.isdir(directory):
             raise CheckpointError(
                 f"checkpoint directory does not exist: {directory!r}"
             )
         try:
-            fp = open(self.path, "w")
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
         except OSError as exc:
             raise CheckpointError(
                 f"cannot create checkpoint {self.path!r}: {exc}"
             ) from exc
-        fp.write(self._header_line() + "\n")
-        fp.flush()
-        os.fsync(fp.fileno())
-        return fp
+        self._write_line(fd, self._header_line())
+        return fd
 
-    def _open_existing(self) -> IO[str]:
+    def _open_existing(self) -> int:
         try:
             with open(self.path) as fp:
                 text = fp.read()
@@ -364,8 +399,7 @@ class CheckpointJournal:
                 + [ln for ln in lines[1:] if self._is_complete_line(ln)]
             ) + "\n"
             _atomic_write_text(self.path, sane)
-        fp = open(self.path, "a")
-        return fp
+        return os.open(self.path, os.O_WRONLY | os.O_APPEND)
 
     @staticmethod
     def _is_complete_line(line: str) -> bool:
@@ -378,36 +412,30 @@ class CheckpointJournal:
         return True
 
     def _replay_line(self, data: Dict[str, Any], lineno: int) -> None:
-        try:
-            if data.get("kind") != "chunk":
-                raise KeyError("kind")
-            chunk = ReplayedChunk(
-                scenario=str(data["scenario"]),
-                index=int(data["index"]),
-                records={
-                    (int(e["size"]), str(e["method"])): TrialRecord(
-                        **e["record"]
-                    )
-                    for e in data["records"]
-                },
-                timings=PhaseTimings(
-                    **{k: float(v) for k, v in data["timings"].items()}
-                ),
-                failures=[
-                    TrialFailure(**f) for f in data.get("failures", [])
-                ],
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise CheckpointError(
-                f"malformed chunk on checkpoint line {lineno} in "
-                f"{self.path!r}: {exc}"
-            ) from exc
+        chunk = _decode_chunk_line(data, self.path, lineno)
         self.replayed[(chunk.scenario, chunk.index)] = chunk
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _write_line(fd: int, line: str) -> None:
+        """One complete journal line: a single write(2), then fsync.
+
+        ``os.write`` may legally write fewer bytes than asked; the loop
+        covers that, and since the descriptor is O_APPEND, each raw
+        write lands contiguously at end-of-file even so. A crash can
+        therefore truncate at most the final record, never corrupt an
+        earlier one.
+        """
+        payload = (line + "\n").encode("utf-8")
+        view = memoryview(payload)
+        while view:
+            written = os.write(fd, view)
+            view = view[written:]
+        os.fsync(fd)
+
     def append(self, chunk) -> None:
-        """Journal one completed chunk (flushed and fsynced)."""
-        if self._fp is None:
+        """Journal one completed chunk (single atomic append + fsync)."""
+        if self._fd is None:
             raise CheckpointError(
                 f"checkpoint {self.path!r} is closed"
             )
@@ -422,20 +450,214 @@ class CheckpointJournal:
             "timings": chunk.timings.as_dict(),
             "failures": [f.as_dict() for f in chunk.failures],
         }
-        self._fp.write(json.dumps(data, sort_keys=True) + "\n")
-        self._fp.flush()
-        os.fsync(self._fp.fileno())
+        self._write_line(self._fd, json.dumps(data, sort_keys=True))
 
     def close(self) -> None:
-        if self._fp is not None:
-            self._fp.close()
-            self._fp = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "CheckpointJournal":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Journal reading, inspection, and compaction (the shard-merge and
+# `repro checkpoint` toolbox)
+# ----------------------------------------------------------------------
+def read_journal_header(path: str) -> Dict[str, Any]:
+    """The validated header (format/version/fingerprint/experiment)."""
+    try:
+        with open(path) as fp:
+            first = fp.readline()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {exc}"
+        ) from exc
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"{path!r} is not a checkpoint journal: bad header"
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path!r} is not a {CHECKPOINT_FORMAT} journal")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {header.get('version')!r} "
+            f"in {path!r}"
+        )
+    return header
+
+
+def iter_journal(
+    path: str, fingerprint: Optional[str] = None
+) -> Iterator[Tuple[Tuple[str, int], ReplayedChunk]]:
+    """Stream a journal's chunks one line at a time, bounded memory.
+
+    Unlike opening a :class:`CheckpointJournal` (which materializes
+    every replayed chunk, and opens the file for appending), this holds
+    exactly one chunk in memory at a time — what the shard merge and
+    streaming aggregation need to keep peak resident records bounded by
+    chunk size. A torn trailing line (interrupted append) is silently
+    skipped, mirroring the journal's own recovery; corruption anywhere
+    else raises :class:`CheckpointError`. When ``fingerprint`` is given,
+    a journal written by a different config is rejected up front.
+    """
+    header = read_journal_header(path)
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written by a different experiment "
+            f"configuration (journal fingerprint "
+            f"{header.get('fingerprint')!r}, expected {fingerprint!r})"
+        )
+    with open(path) as fp:
+        fp.readline()  # header, validated above
+        lineno = 1
+        while True:
+            line = fp.readline()
+            if not line:
+                break
+            lineno += 1
+            if not line.strip():
+                continue
+            torn = not line.endswith("\n")
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                if torn:
+                    break  # interrupted append; the chunk re-runs
+                raise CheckpointError(
+                    f"corrupt checkpoint line {lineno} in {path!r}"
+                ) from None
+            chunk = _decode_chunk_line(data, path, lineno)
+            yield (chunk.scenario, chunk.index), chunk
+
+
+@dataclass
+class JournalInfo:
+    """What :func:`inspect_journal` found in one journal file."""
+
+    path: str
+    fingerprint: str
+    experiment: str
+    #: Distinct chunk keys present, in file order.
+    chunks: List[Tuple[str, int]] = field(default_factory=list)
+    #: Keys journaled more than once (within this one file).
+    duplicates: List[Tuple[str, int]] = field(default_factory=list)
+    #: Whether the file ends in a torn (interrupted) append.
+    torn_tail: bool = False
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+
+def inspect_journal(path: str) -> JournalInfo:
+    """Summarize one journal: identity, chunk coverage, anomalies.
+
+    Read-only and line-streamed; malformed *complete* lines raise, a
+    torn trailing line is reported on :attr:`JournalInfo.torn_tail`.
+    """
+    header = read_journal_header(path)
+    info = JournalInfo(
+        path=os.path.abspath(path),
+        fingerprint=str(header.get("fingerprint")),
+        experiment=str(header.get("experiment")),
+    )
+    seen = set()
+    for key, _chunk in iter_journal(path):
+        if key in seen:
+            info.duplicates.append(key)
+            continue
+        seen.add(key)
+        info.chunks.append(key)
+    with open(path) as fp:
+        text = fp.read()
+    info.torn_tail = bool(text) and not text.endswith("\n")
+    return info
+
+
+def journal_paths(directory: str) -> List[str]:
+    """The checkpoint journal files inside ``directory``, sorted."""
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot list journal directory {directory!r}: {exc}"
+        ) from exc
+    return [
+        os.path.join(directory, name)
+        for name in names
+        if name.endswith(".ckpt")
+    ]
+
+
+def compact_journals(directory: str) -> str:
+    """Merge every journal in ``directory`` into one deduplicated file.
+
+    The merged journal is written atomically as ``shard-0-of-1.ckpt``
+    (so both a ``--shards 1`` resume and a serial/pool resume pointed at
+    the file pick it up), chunks in canonical first-seen order, then the
+    source journals are removed. Identical duplicate chunks collapse;
+    conflicting duplicates (same key, different records) raise
+    :class:`CheckpointError` — compaction never guesses which side is
+    right. Returns the merged journal's path.
+    """
+    paths = journal_paths(directory)
+    if not paths:
+        raise CheckpointError(
+            f"no checkpoint journals (*.ckpt) in {directory!r}"
+        )
+    fingerprint: Optional[str] = None
+    header_line: Optional[str] = None
+    lines: List[str] = []
+    seen: Dict[Tuple[str, int], str] = {}
+    for path in paths:
+        header = read_journal_header(path)
+        if fingerprint is None:
+            fingerprint = header.get("fingerprint")
+            header_line = json.dumps(header, sort_keys=True)
+        elif header.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"journal {path!r} has fingerprint "
+                f"{header.get('fingerprint')!r} but {paths[0]!r} has "
+                f"{fingerprint!r}; refusing to compact a mixed directory"
+            )
+        with open(path) as fp:
+            fp.readline()
+            for raw in fp:
+                if not raw.strip() or not raw.endswith("\n"):
+                    continue
+                try:
+                    data = json.loads(raw)
+                except json.JSONDecodeError:
+                    raise CheckpointError(
+                        f"corrupt checkpoint line in {path!r}"
+                    ) from None
+                key = (str(data.get("scenario")), int(data.get("index", -1)))
+                canon = json.dumps(data, sort_keys=True)
+                if key in seen:
+                    if seen[key] != canon:
+                        raise CheckpointError(
+                            f"conflicting duplicate chunk (scenario="
+                            f"{key[0]}, graph={key[1]}) across journals in "
+                            f"{directory!r}; refusing to compact"
+                        )
+                    continue
+                seen[key] = canon
+                lines.append(canon)
+    merged = os.path.join(directory, "shard-0-of-1.ckpt")
+    _atomic_write_text(
+        merged, "\n".join([header_line] + lines) + "\n"
+    )
+    for path in paths:
+        if os.path.abspath(path) != os.path.abspath(merged):
+            os.remove(path)
+    return merged
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import hashlib
 import random
-import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
@@ -46,7 +45,6 @@ from repro.errors import (
     ExperimentWarning,
     QuarantinedTrialError,
 )
-from repro.obs import runtime as obs
 from repro.feast.config import ExperimentConfig, MethodSpec, speeds_for
 from repro.feast.instrumentation import (
     Instrumentation,
@@ -57,7 +55,6 @@ from repro.feast.instrumentation import (
 from repro.graph.generator import RandomGraphConfig, generate_task_graph
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.system import System
-from repro.machine.topology import make_interconnect
 from repro.sched.analysis import ScheduleMetrics, schedule_metrics
 from repro.sched.list_scheduler import ListScheduler
 from repro.sched.policies import make_policy
@@ -174,8 +171,12 @@ class ExperimentResult:
     #: their trials are *missing* from ``records``. Empty on a clean run.
     quarantined: List[Tuple[str, int]] = field(default_factory=list)
     #: Why the run executed on fewer workers than requested (unpicklable
-    #: config, repeated pool deaths); ``None`` when nothing degraded.
+    #: config, repeated pool deaths, failing shards); ``None`` when
+    #: nothing degraded.
     fallback_reason: Optional[str] = None
+    #: Trials whose records were streamed into a ``record_sink`` instead
+    #: of being kept on ``records`` (0 for non-streaming runs).
+    streamed_trials: int = 0
 
     @property
     def complete(self) -> bool:
@@ -377,6 +378,9 @@ def run_experiment(
     instrumentation: Optional[Instrumentation] = None,
     checkpoint: Optional[str] = None,
     retry=None,
+    backend: Optional[str] = None,
+    shards: int = 2,
+    record_sink=None,
 ) -> ExperimentResult:
     """Execute every trial of ``config``.
 
@@ -389,15 +393,28 @@ def run_experiment(
     :class:`ExperimentWarning` and the reason recorded on
     ``result.fallback_reason``.
 
-    ``checkpoint`` names a journal file: completed work units are
-    appended as they finish, and a rerun with the same config and path
-    resumes where the previous run stopped — the resumed result is
-    byte-identical to an uninterrupted run. ``retry`` overrides the
-    :class:`~repro.feast.parallel.RetryPolicy` derived from the config.
-    Requesting any fault-tolerance feature (``checkpoint``, ``retry``, or
-    ``config.trial_timeout``) routes even a ``jobs=1`` run through the
-    supervised engine; a plain ``jobs=1`` run keeps the classic serial
-    loop, which raises on the first trial error.
+    ``backend`` selects an execution backend by registry name
+    (:mod:`repro.feast.backends`: ``"serial"``, ``"pool"``,
+    ``"subprocess"``, or anything registered) instead of deriving it
+    from ``jobs``; ``shards`` sets the subprocess backend's shard
+    count. Every backend produces byte-identical canonical records.
+
+    ``checkpoint`` names a journal file (for the subprocess backend: a
+    journal *directory*): completed work units are appended as they
+    finish, and a rerun with the same config and path resumes where the
+    previous run stopped — the resumed result is byte-identical to an
+    uninterrupted run. ``retry`` overrides the
+    :class:`~repro.feast.backends.RetryPolicy` derived from the config.
+    Requesting any fault-tolerance feature (``checkpoint``, ``retry``,
+    ``config.trial_timeout``), an explicit ``backend``, or streaming
+    routes even a ``jobs=1`` run through the supervised engine; a plain
+    ``jobs=1`` run keeps the classic serial loop, which raises on the
+    first trial error.
+
+    ``record_sink`` streams records (e.g. into a
+    :class:`repro.feast.aggregate.StreamingAggregator`) instead of
+    collecting them on the result — see
+    :func:`repro.feast.parallel.run_parallel_experiment`.
 
     ``progress`` is a ``(done, total)`` callback; ``instrumentation``
     optionally supplies a preconfigured :class:`Instrumentation` (extra
@@ -410,7 +427,7 @@ def run_experiment(
         inst.add_progress(progress)
     n_jobs = resolve_jobs(jobs)
     fallback_reason = None
-    if n_jobs > 1 and not is_parallelizable(config):
+    if n_jobs > 1 and backend is None and not is_parallelizable(config):
         fallback_reason = (
             f"experiment {config.name!r} carries an unpicklable "
             f"graph_factory; ran in-process instead of on {n_jobs} workers"
@@ -421,6 +438,8 @@ def run_experiment(
         checkpoint is not None
         or retry is not None
         or config.trial_timeout is not None
+        or backend is not None
+        or record_sink is not None
     )
     if n_jobs > 1 or supervised or fallback_reason is not None:
         from repro.feast.parallel import run_parallel_experiment
@@ -432,97 +451,10 @@ def run_experiment(
             checkpoint=checkpoint,
             retry=retry,
             fallback_reason=fallback_reason,
+            backend=backend,
+            shards=shards,
+            record_sink=record_sink,
         )
-    return _run_serial(config, inst)
+    from repro.feast.backends.serial import run_classic_serial
 
-
-def _run_serial(
-    config: ExperimentConfig, inst: Instrumentation
-) -> ExperimentResult:
-    started = time.perf_counter()
-    result = ExperimentResult(config=config, timings=inst.timings, jobs=1)
-    inst.start(config.n_trials)
-
-    with obs.activate(inst.telemetry), obs.toplevel_span(
-        "run", experiment=config.name, jobs=1, engine="serial"
-    ):
-        for scenario in config.scenarios:
-            graph_config = config.graph_config.with_scenario(scenario)
-            with obs.span("scenario", scenario=scenario):
-                with inst.phase("generate"):
-                    graphs = [
-                        graph_for_trial(config, graph_config, scenario, i)
-                        for i in range(config.n_graphs)
-                    ]
-                # Distributions reusable across the size sweep (non-ADAPT
-                # methods), keyed by (method label, graph index).
-                reusable: Dict[object, DeadlineAssignment] = {}
-                prefetched: Optional[Dict[object, DeadlineAssignment]] = None
-                if config.batch:
-                    with inst.phase("distribute"):
-                        prefetched = prefetch_distributions(
-                            config, graphs, reusable
-                        )
-                for n_processors in config.system_sizes:
-                    speeds = speeds_for(config.speed_profile, n_processors)
-                    system = System(
-                        n_processors,
-                        interconnect=make_interconnect(
-                            config.topology, n_processors
-                        ),
-                        speeds=speeds,
-                    )
-                    total_capacity = float(sum(speeds))
-                    for method in config.methods:
-                        distributor = method.build()
-                        for index, graph in enumerate(graphs):
-                            with obs.span(
-                                "trial",
-                                scenario=scenario,
-                                index=index,
-                                n_processors=n_processors,
-                                method=method.label,
-                            ):
-                                began = time.perf_counter()
-                                with inst.phase("distribute"):
-                                    assignment = distribute_for_trial(
-                                        method,
-                                        distributor,
-                                        graph,
-                                        n_processors,
-                                        total_capacity,
-                                        reusable,
-                                        (method.label, index),
-                                        prefetched,
-                                    )
-                                obs.observe(
-                                    f"distribute.seconds.n{graph.n_subtasks}",
-                                    time.perf_counter() - began,
-                                )
-                                with inst.phase("schedule"):
-                                    metrics = run_trial(
-                                        graph,
-                                        assignment,
-                                        system,
-                                        policy_name=config.policy,
-                                        respect_release_times=(
-                                            config.respect_release_times
-                                        ),
-                                    )
-                                obs.count("engine.trials_measured")
-                            result.records.append(
-                                make_record(
-                                    config, scenario, n_processors, method,
-                                    index, assignment, metrics,
-                                )
-                            )
-                            inst.completed()
-
-    if len(result.records) != config.n_trials:
-        raise ExperimentError(
-            f"experiment {config.name!r} produced {len(result.records)} "
-            f"records but planned {config.n_trials}"
-        )
-    result.elapsed_seconds = time.perf_counter() - started
-    inst.finish()
-    return result
+    return run_classic_serial(config, inst)

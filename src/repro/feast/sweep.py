@@ -93,7 +93,13 @@ def sweep_grid(
     return out
 
 
-def _checkpoint_path(checkpoint_dir: str, config: ExperimentConfig) -> str:
+def _checkpoint_path(
+    checkpoint_dir: str, config: ExperimentConfig, backend: Optional[str]
+) -> str:
+    # The subprocess backend journals one file per shard under a
+    # directory; everything else journals a single file.
+    if backend == "subprocess":
+        return os.path.join(checkpoint_dir, f"{config.name}.shards")
     return os.path.join(checkpoint_dir, f"{config.name}.ckpt")
 
 
@@ -150,6 +156,8 @@ def run_experiments(
     jobs: int = 1,
     checkpoint_dir: Optional[str] = None,
     trace_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+    shards: int = 2,
 ) -> List[ExperimentResult]:
     """Run many experiments, optionally in parallel worker processes.
 
@@ -176,12 +184,23 @@ def run_experiments(
     trace``). Like checkpointing it needs the run to happen in this
     process, so it is incompatible with ``processes > 1``.
 
+    ``backend`` routes every config through a named execution backend
+    (:mod:`repro.feast.backends`; e.g. ``"subprocess"`` with ``shards``
+    worker processes per config). Like checkpointing it needs the runs
+    coordinated from this process, so it is incompatible with
+    ``processes > 1``.
+
     ``progress`` is called with (completed configs, total) — per-trial
     progress is only available through
     :func:`repro.feast.runner.run_experiment` directly.
     """
     if processes < 1:
         raise ExperimentError(f"processes must be >= 1, got {processes}")
+    if backend is not None and processes > 1:
+        raise ExperimentError(
+            "backend selection coordinates runs from this process; it "
+            "cannot be combined with processes>1"
+        )
     if processes > 1 and jobs != 1:
         raise ExperimentError(
             "choose one parallelism axis: processes>1 (configs across "
@@ -227,7 +246,7 @@ def run_experiments(
         return results
     for index, config in enumerate(configs):
         checkpoint = (
-            _checkpoint_path(checkpoint_dir, config)
+            _checkpoint_path(checkpoint_dir, config, backend)
             if checkpoint_dir is not None else None
         )
         inst = (
@@ -235,7 +254,8 @@ def run_experiments(
             if trace_dir is not None else None
         )
         result = run_experiment(
-            config, jobs=jobs, checkpoint=checkpoint, instrumentation=inst
+            config, jobs=jobs, checkpoint=checkpoint, instrumentation=inst,
+            backend=backend, shards=shards,
         )
         if trace_dir is not None:
             write_run_events(trace_path(trace_dir, config), result, inst)

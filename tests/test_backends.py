@@ -1,0 +1,302 @@
+"""Execution backends: registry, cross-backend parity, shard merge,
+kill-and-resume fault tolerance, streaming aggregation, journal repair."""
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, ExperimentError, ExperimentWarning
+from repro.feast.aggregate import StreamingAggregator
+from repro.feast.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+)
+from repro.feast.backends.serial import SerialBackend
+from repro.feast.backends.shardworker import shard_keys
+from repro.feast.config import ExperimentConfig, MethodSpec
+from repro.feast.instrumentation import Instrumentation
+from repro.feast.parallel import run_parallel_experiment
+from repro.feast.persistence import (
+    compact_journals,
+    inspect_journal,
+    iter_journal,
+    journal_paths,
+)
+from repro.feast.runner import run_experiment
+from repro.graph.generator import RandomGraphConfig
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        name="bke",
+        description="backend test",
+        methods=(
+            MethodSpec(label="PURE", metric="PURE"),
+            MethodSpec(label="ADAPT", metric="ADAPT"),
+        ),
+        graph_config=RandomGraphConfig(
+            n_subtasks_range=(10, 14), depth_range=(3, 5)
+        ),
+        scenarios=("MDET",),
+        n_graphs=3,
+        system_sizes=(2, 4),
+        seed=11,
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def dicts(result):
+    return [r.as_dict() for r in result.records]
+
+
+def group_means(records):
+    groups = {}
+    for r in records:
+        groups.setdefault(
+            (r.scenario, r.method, r.n_processors), []
+        ).append(r.max_lateness)
+    return {k: sum(v) / len(v) for k, v in groups.items()}
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(backend_names()) >= {"serial", "pool", "subprocess"}
+        for name in backend_names():
+            engine = make_backend(name)
+            assert isinstance(engine, ExecutionBackend)
+            assert engine.name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown execution"):
+            make_backend("quantum")
+        with pytest.raises(ExperimentError, match="unknown execution"):
+            run_experiment(tiny_config(n_graphs=1), backend="quantum")
+
+    def test_register_custom_backend(self):
+        class LoudSerial(SerialBackend):
+            name = "loud-serial"
+
+        register_backend("loud-serial", LoudSerial)
+        try:
+            cfg = tiny_config(n_graphs=2)
+            custom = run_experiment(cfg, backend="loud-serial")
+            assert dicts(custom) == dicts(run_experiment(cfg, jobs=1))
+        finally:
+            BACKENDS.pop("loud-serial", None)
+
+
+class TestShardPartition:
+    def test_shards_cover_chunk_keys_disjointly(self):
+        cfg = tiny_config(scenarios=("LDET", "MDET"), n_graphs=3)
+        for n in (1, 2, 4, 7):
+            parts = [shard_keys(cfg, i, n) for i in range(n)]
+            merged = [k for part in parts for k in part]
+            assert sorted(merged) == sorted(cfg.chunk_keys())
+            assert len(merged) == len(set(merged))
+
+
+class TestCrossBackendParity:
+    """Every backend must reproduce the serial records byte-for-byte."""
+
+    def test_all_backends_identical(self):
+        cfg = tiny_config(scenarios=("LDET", "MDET"), n_graphs=2)
+        serial = run_experiment(cfg, jobs=1)
+        expected = dicts(serial)
+        explicit_serial = run_experiment(cfg, backend="serial")
+        pool = run_experiment(cfg, jobs=2, backend="pool")
+        two_shards = run_experiment(cfg, backend="subprocess", shards=2)
+        four_shards = run_experiment(cfg, backend="subprocess", shards=4)
+        assert dicts(explicit_serial) == expected
+        assert dicts(pool) == expected
+        assert dicts(two_shards) == expected
+        assert dicts(four_shards) == expected
+        # ... and so must every derived aggregate.
+        for result in (pool, two_shards, four_shards):
+            assert group_means(result.records) == group_means(serial.records)
+
+    def test_subprocess_progress_and_instrumentation(self):
+        cfg = tiny_config(n_graphs=2)
+        inst = Instrumentation()
+        calls = []
+        result = run_experiment(
+            cfg, backend="subprocess", shards=2, instrumentation=inst,
+            progress=lambda d, t: calls.append((d, t)),
+        )
+        assert inst.trials_completed == cfg.n_trials
+        assert calls[-1] == (cfg.n_trials, cfg.n_trials)
+        assert result.timings.total > 0
+
+    def test_pool_backend_rejects_unpicklable(self):
+        cfg = tiny_config(
+            graph_factory=lambda gc, rng: None,
+            methods=(MethodSpec(label="PURE", metric="PURE"),),
+        )
+        with pytest.raises(ExperimentError, match="unpicklable"):
+            run_parallel_experiment(cfg, jobs=2, backend="pool")
+
+    def test_subprocess_backend_rejects_unpicklable(self):
+        cfg = tiny_config(
+            graph_factory=lambda gc, rng: None,
+            methods=(MethodSpec(label="PURE", metric="PURE"),),
+        )
+        with pytest.raises(ExperimentError, match="unpicklable"):
+            run_parallel_experiment(cfg, backend="subprocess")
+
+    def test_subprocess_rejects_file_checkpoint(self, tmp_path):
+        path = tmp_path / "journal.ckpt"
+        path.write_text("not a directory\n")
+        with pytest.raises(CheckpointError, match="directory"):
+            run_experiment(
+                tiny_config(n_graphs=1), backend="subprocess",
+                checkpoint=str(path),
+            )
+
+
+class TestShardJournalAndResume:
+    def test_journal_directory_layout(self, tmp_path):
+        cfg = tiny_config(n_graphs=2)
+        ck = tmp_path / "ck"
+        run_experiment(cfg, backend="subprocess", shards=2,
+                       checkpoint=str(ck))
+        paths = journal_paths(str(ck))
+        assert [os.path.basename(p) for p in paths] == [
+            "shard-0-of-2.ckpt", "shard-1-of-2.ckpt",
+        ]
+        seen = []
+        for path in paths:
+            info = inspect_journal(path)
+            assert info.experiment == cfg.name
+            assert not info.duplicates and not info.torn_tail
+            seen.extend(info.chunks)
+        assert sorted(seen) == sorted(cfg.chunk_keys())
+
+    def test_resume_replays_everything(self, tmp_path):
+        cfg = tiny_config(n_graphs=2)
+        ck = str(tmp_path / "ck")
+        first = run_experiment(cfg, backend="subprocess", shards=2,
+                               checkpoint=ck)
+        inst = Instrumentation()
+        second = run_experiment(cfg, backend="subprocess", shards=2,
+                                checkpoint=ck, instrumentation=inst)
+        assert dicts(second) == dicts(first)
+        assert inst.replayed_trials == cfg.n_trials
+
+    def test_killed_shard_relaunches_incrementally(self, tmp_path,
+                                                   monkeypatch):
+        cfg = tiny_config(scenarios=("LDET", "MDET"), n_graphs=2)
+        expected = dicts(run_experiment(cfg, jobs=1))
+        monkeypatch.setenv("REPRO_SHARD_KILL_AFTER", "1")
+        monkeypatch.setenv("REPRO_SHARD_KILL_SHARD", "0")
+        ck = str(tmp_path / "ck")
+        with pytest.warns(ExperimentWarning, match="relaunching"):
+            result = run_experiment(cfg, backend="subprocess", shards=2,
+                                    checkpoint=ck)
+        # The shard died after journaling one chunk; the relaunch must
+        # replay that chunk and still merge to the serial records.
+        assert os.path.exists(
+            os.path.join(ck, "shard-0-of-2.ckpt.killmark")
+        )
+        assert dicts(result) == expected
+        assert result.fallback_reason is None
+
+    def test_compacted_journal_resumes_at_any_shard_count(self, tmp_path):
+        cfg = tiny_config(n_graphs=2)
+        ck = str(tmp_path / "ck")
+        first = run_experiment(cfg, backend="subprocess", shards=3,
+                               checkpoint=ck)
+        merged = compact_journals(ck)
+        assert os.path.basename(merged) == "shard-0-of-1.ckpt"
+        assert sorted(k for k, _ in iter_journal(merged)) == sorted(
+            cfg.chunk_keys()
+        )
+        inst = Instrumentation()
+        resumed = run_experiment(cfg, backend="subprocess", shards=1,
+                                 checkpoint=ck, instrumentation=inst)
+        assert dicts(resumed) == dicts(first)
+        assert inst.replayed_trials == cfg.n_trials
+        # The merged single-file journal also resumes the serial engine.
+        serial = run_experiment(cfg, jobs=1, checkpoint=merged,
+                                backend="serial")
+        assert dicts(serial) == dicts(first)
+
+
+class TestStreaming:
+    def test_streaming_matches_materialized_records(self):
+        cfg = tiny_config(scenarios=("LDET", "MDET"), n_graphs=2)
+        serial = run_experiment(cfg, jobs=1)
+        agg = StreamingAggregator()
+        streamed = run_experiment(cfg, record_sink=agg)
+        assert streamed.records == []
+        assert streamed.streamed_trials == cfg.n_trials
+        assert agg.n_records == cfg.n_trials
+        expected = group_means(serial.records)
+        assert set(agg.means()) == set(expected)
+        for key, mean in agg.means().items():
+            assert mean == pytest.approx(expected[key], rel=1e-12)
+
+    def test_streaming_identical_across_backends(self):
+        cfg = tiny_config(n_graphs=2)
+        results = {}
+        for backend, kwargs in (
+            ("serial", {}),
+            ("pool", {"jobs": 2}),
+            ("subprocess", {"shards": 2}),
+        ):
+            agg = StreamingAggregator()
+            run_experiment(cfg, backend=backend, record_sink=agg, **kwargs)
+            results[backend] = agg.means()
+        # ExactSum makes these *equal*, not just close, despite the
+        # backends delivering chunks in different orders.
+        assert results["serial"] == results["pool"]
+        assert results["serial"] == results["subprocess"]
+
+    def test_streaming_resume_folds_replayed_chunks(self, tmp_path):
+        cfg = tiny_config(n_graphs=2)
+        ck = str(tmp_path / "run.ckpt")
+        run_experiment(cfg, backend="serial", checkpoint=ck)
+        agg = StreamingAggregator()
+        resumed = run_experiment(cfg, backend="serial", checkpoint=ck,
+                                 record_sink=agg)
+        assert resumed.streamed_trials == cfg.n_trials
+        assert agg.n_records == cfg.n_trials
+
+
+class TestJournalRepair:
+    """A journal torn mid-record (crash during append) must resume."""
+
+    def test_truncated_tail_recovers_on_resume(self, tmp_path):
+        cfg = tiny_config(n_graphs=3)
+        ck = str(tmp_path / "run.ckpt")
+        complete = run_experiment(cfg, backend="serial", checkpoint=ck)
+        with open(ck, "rb") as fp:
+            data = fp.read()
+        # Cut the final record in half, as a crash mid-write would.
+        cut = data.rstrip(b"\n").rfind(b"\n") + 1 + 17
+        with open(ck, "wb") as fp:
+            fp.write(data[:cut])
+        info = inspect_journal(ck)
+        assert info.torn_tail and info.n_chunks == len(cfg.chunk_keys()) - 1
+        inst = Instrumentation()
+        with pytest.warns(ExperimentWarning, match="partial line"):
+            resumed = run_experiment(cfg, backend="serial", checkpoint=ck,
+                                     instrumentation=inst)
+        assert dicts(resumed) == dicts(complete)
+        # Exactly the torn chunk re-ran; the intact ones replayed.
+        assert inst.replayed_trials == cfg.n_trials - cfg.trials_per_graph
+        assert not inspect_journal(ck).torn_tail
+
+    def test_iter_journal_skips_torn_tail(self, tmp_path):
+        cfg = tiny_config(n_graphs=2)
+        ck = str(tmp_path / "run.ckpt")
+        run_experiment(cfg, backend="serial", checkpoint=ck)
+        with open(ck, "rb") as fp:
+            data = fp.read()
+        with open(ck, "wb") as fp:
+            fp.write(data[:-10])
+        keys = [k for k, _ in iter_journal(ck)]
+        assert len(keys) == len(cfg.chunk_keys()) - 1
+        assert len(set(keys)) == len(keys)

@@ -466,7 +466,7 @@ class TestTrialTimeoutRouting:
     def test_slow_trial_is_recorded_not_failed(self, monkeypatch):
         """A trial that finishes past its cooperative budget keeps its
         result and logs a slow-trial event."""
-        import repro.feast.parallel as parallel_mod
+        import repro.feast.backends.work as work_mod
         from repro.feast.runner import run_trial as real_run_trial
 
         def slow_run_trial(*args, **kwargs):
@@ -475,7 +475,7 @@ class TestTrialTimeoutRouting:
             time.sleep(0.03)
             return real_run_trial(*args, **kwargs)
 
-        monkeypatch.setattr(parallel_mod, "run_trial", slow_run_trial)
+        monkeypatch.setattr(work_mod, "run_trial", slow_run_trial)
         cfg = ft_config(n_graphs=1, trial_timeout=0.001)
         result = run_experiment(cfg, jobs=1, retry=FAST)
         assert result.complete  # records kept despite the overrun

@@ -130,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
         "fall back to the scalar path)",
     )
     run.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        help="(--backend subprocess) declare a shard stalled after this "
+        "many seconds without journal progress and escalate "
+        "SIGTERM → grace → SIGKILL before relaunching it (default: "
+        "stall detection off — long chunks journal nothing while they "
+        "compute)",
+    )
+    run.add_argument(
         "--backend", default=None, metavar="NAME",
         help="execution backend: serial, pool, or subprocess (shards "
         "the sweep over independent worker subprocesses merged through "
@@ -249,6 +257,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact", action="store_true",
         help="merge a directory of shard journals into a single "
         "shard-0-of-1.ckpt (resumable by any backend or shard count)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign: a sweep under injected "
+        "hangs/crashes/journal corruption must stay byte-identical to "
+        "a clean serial run, with the recovery machinery provably "
+        "exercised",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
+    chaos.add_argument(
+        "--backend", default="subprocess",
+        help="execution backend under test: serial, pool, or "
+        "subprocess (default; the only one with stall/failover "
+        "supervision)",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="worker subprocesses for --backend subprocess "
+        "(default: 3; >= 2 required so faults span multiple shards)",
+    )
+    chaos.add_argument(
+        "--faults", type=int, default=3, metavar="N",
+        help="extra seeded in-process faults on top of the guaranteed "
+        "hang/truncate/exit coverage (default: 3)",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="persist campaign artifacts into DIR: fault-plan.json, "
+        "report.json, chaos.events.jsonl, and the checkpoint journals",
     )
 
     fuzz = sub.add_parser(
@@ -394,6 +432,21 @@ def _fault_summary(result) -> Optional[str]:
             f"  QUARANTINED {len(result.quarantined)} chunk(s): {chunks} — "
             "their trials are missing from the records"
         )
+    supervision = getattr(result, "supervision", None)
+    if supervision is not None and supervision.any():
+        stats = supervision.as_dict()
+        labels = (
+            ("stalls_detected", "stall(s) detected"),
+            ("kills_escalated", "SIGKILL escalation(s)"),
+            ("relaunches", "worker relaunch(es)"),
+            ("shards_failed_over", "shard(s) failed over"),
+            ("chunks_reassigned", "chunk(s) reassigned"),
+            ("chunks_replayed", "chunk(s) replayed from journals"),
+        )
+        lines.append("  supervision: " + ", ".join(
+            f"{stats[key]} {label}"
+            for key, label in labels if stats[key]
+        ))
     if not lines:
         return None
     return "fault report:\n" + "\n".join(lines)
@@ -477,11 +530,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
                 telemetry = Telemetry()
             instrumentation = Instrumentation(telemetry=telemetry)
+        retry = None
+        if args.stall_timeout is not None:
+            from repro.feast.backends.work import RetryPolicy
+
+            retry = RetryPolicy(
+                max_attempts=config.max_retries + 1,
+                stall_timeout=args.stall_timeout,
+            )
         result = run_experiment(
             config, progress=progress, jobs=jobs,
             instrumentation=instrumentation,
             checkpoint=checkpoints.get(config.name),
             backend=args.backend, shards=args.shards,
+            retry=retry,
         )
         print(lateness_report(result))
         print()
@@ -790,6 +852,35 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.feast.backends import backend_names
+    from repro.feast.chaos import render_chaos_report, run_chaos
+
+    if args.backend not in backend_names():
+        print(
+            f"error: unknown backend {args.backend!r}; expected one "
+            f"of {', '.join(backend_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            backend=args.backend,
+            shards=args.shards,
+            extra_faults=args.faults,
+            out=args.out,
+        )
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_chaos_report(report))
+    if args.out:
+        print(f"wrote campaign artifacts to {args.out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.feast import compare, load_result
 
@@ -827,6 +918,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_checkpoint(args)
     if args.command == "fuzz":
         return cmd_fuzz(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "demo":
         return cmd_demo(args)
     if args.command == "compare":

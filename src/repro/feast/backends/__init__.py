@@ -29,6 +29,7 @@ from repro.feast.backends.base import (
     ChunkState,
     ExecutionBackend,
     ExecutionRequest,
+    SupervisionStats,
     assemble_records,
 )
 from repro.feast.backends.pool import PoolSupervisor, ProcessPoolBackend
@@ -96,6 +97,7 @@ __all__ = [
     "RetryPolicy",
     "SerialBackend",
     "SubprocessBackend",
+    "SupervisionStats",
     "TrialSpec",
     "assemble_records",
     "backend_names",

@@ -86,6 +86,56 @@ class ExecutionRequest:
 
 
 @dataclass
+class SupervisionStats:
+    """Fault-tolerance outcomes of one run, for operators.
+
+    Filled by the backends (liveness supervision, failover, journal
+    replay) and surfaced three ways: on
+    :attr:`repro.feast.runner.ExperimentResult.supervision`, in the CLI
+    fault report, and — on traced runs — as ``supervision.*`` obs
+    counters that ``repro report`` renders as a dedicated section.
+    """
+
+    #: Shards declared stalled (no journal progress past the deadline)
+    #: and sent SIGTERM.
+    stalls_detected: int = 0
+    #: Stalled shards that ignored SIGTERM and were SIGKILLed after the
+    #: grace period.
+    kills_escalated: int = 0
+    #: Worker relaunches (after a crash, injected kill, or stall kill).
+    relaunches: int = 0
+    #: Shards that exhausted their launch cap and had their remaining
+    #: chunks reassigned to surviving shards.
+    shards_failed_over: int = 0
+    #: Chunk keys repartitioned onto failover workers.
+    chunks_reassigned: int = 0
+    #: Chunks recovered from journals instead of re-running.
+    chunks_replayed: int = 0
+
+    def merge(self, other: "SupervisionStats") -> None:
+        self.stalls_detected += other.stalls_detected
+        self.kills_escalated += other.kills_escalated
+        self.relaunches += other.relaunches
+        self.shards_failed_over += other.shards_failed_over
+        self.chunks_reassigned += other.chunks_reassigned
+        self.chunks_replayed += other.chunks_replayed
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "stalls_detected": self.stalls_detected,
+            "kills_escalated": self.kills_escalated,
+            "relaunches": self.relaunches,
+            "shards_failed_over": self.shards_failed_over,
+            "chunks_reassigned": self.chunks_reassigned,
+            "chunks_replayed": self.chunks_replayed,
+        }
+
+    def any(self) -> bool:
+        """Whether anything supervision-worthy happened at all."""
+        return any(self.as_dict().values())
+
+
+@dataclass
 class BackendOutcome:
     """What a backend produced: completed chunks + fault accounting."""
 
@@ -100,6 +150,8 @@ class BackendOutcome:
     degraded_reason: Optional[str] = None
     #: Trials whose records were streamed (and possibly dropped).
     streamed_trials: int = 0
+    #: Liveness/failover accounting (see :class:`SupervisionStats`).
+    supervision: SupervisionStats = field(default_factory=SupervisionStats)
 
 
 class ExecutionBackend(ABC):
@@ -183,12 +235,14 @@ class ChunkDriver:
         self.failures: List[TrialFailure] = []
         self.degraded_reason: Optional[str] = None
         self.streamed_trials = 0
+        self.supervision = SupervisionStats()
         for key in (list(config.chunk_keys()) if keys is None else keys):
             scenario, index = key
             if journal is not None and key in journal.replayed:
                 replayed = journal.replayed[key]
                 self.failures.extend(replayed.failures)
                 inst.replayed(replayed.timings, replayed.n_trials)
+                self.supervision.chunks_replayed += 1
                 self._store(key, replayed, journaled=True)
                 continue
             self.states[key] = ChunkState(
@@ -249,8 +303,10 @@ class ChunkDriver:
             ))
         else:
             self.inst.retried()
-            state.eligible_at = (
-                time.monotonic() + self.policy.backoff(state.attempt)
+            # Deterministic per-chunk jitter decorrelates the retries of
+            # chunks (and shards) that failed at the same instant.
+            state.eligible_at = time.monotonic() + self.policy.backoff_jittered(
+                state.attempt, self.config.seed, f"{key[0]}:{key[1]}"
             )
             self.waiting.append(key)
 
@@ -277,6 +333,7 @@ class ChunkDriver:
             failures=self.failures,
             degraded_reason=self.degraded_reason,
             streamed_trials=self.streamed_trials,
+            supervision=self.supervision,
         )
 
     # -- the serial chunk loop -----------------------------------------

@@ -10,6 +10,22 @@ crosses a pipe, so the same protocol works unchanged when the "shards"
 are later dispatched to different hosts sharing a filesystem: the
 journal directory is the coordination medium.
 
+Liveness supervision
+--------------------
+``proc.poll()`` only detects shards that *die*; a shard that wedges —
+a livelocked solver, a hung filesystem, an injected ``hang`` fault —
+would block the run forever. The supervisor therefore uses the journal
+itself as a heartbeat: a healthy shard appends a chunk line every few
+seconds, so the parent tracks each journal's size (and record count)
+and declares a shard *stalled* when it grows by nothing for
+``RetryPolicy.stall_timeout`` seconds. Escalation is the classic
+ladder: SIGTERM, a ``stall_grace`` period for a clean death, then
+SIGKILL for workers that ignore the term (the journal makes any death
+point safe — at most the in-flight chunk is lost). Stall detection is
+opt-in (``stall_timeout=None`` default) because a legitimately long
+chunk produces no journal growth while it computes; enable it when
+chunk durations are known to be bounded.
+
 Shard-merge protocol
 --------------------
 * Partition: shard ``i`` of ``n`` owns the chunks whose ordinal in the
@@ -19,21 +35,39 @@ Shard-merge protocol
   journal directory and finally writes an atomic JSON summary (fault
   accounting + serialized telemetry).
 * A shard that exits nonzero is relaunched (its journal makes the
-  relaunch incremental) up to ``RetryPolicy.max_attempts`` launches;
-  a shard that keeps dying is finished *in-process* by the parent,
-  against the same journal, and the run is marked degraded.
-* The parent then streams every shard journal, rejects conflicting
-  duplicate chunks (identical duplicates are tolerated — e.g. after a
-  re-partitioned resume), folds telemetry under the single run span,
-  and hands the union to canonical assembly — byte-identical records
-  to a serial run, for any shard count.
+  relaunch incremental) after a deterministic, jittered backoff —
+  decorrelated per shard, so a fleet killed at once doesn't thunder
+  back against the shared journal directory in lockstep — up to
+  ``RetryPolicy.max_attempts`` launches.
+* **Failover**: a shard that exhausts its launch cap has its *remaining*
+  chunk keys (owned minus journaled) repartitioned round-robin across
+  as many fresh *failover workers* as there are surviving shards, each
+  journaling to ``failover-<shard>-<j>.ckpt`` in the same directory.
+  Failover workers are supervised like any shard but are not themselves
+  failed over.
+* The parent then merges **every** ``*.ckpt`` journal in the directory
+  (shards, failovers, the parent's own sweep journal, and files from an
+  earlier partitioning — fingerprints guard config identity), rejects
+  conflicting duplicate chunks (identical duplicates are tolerated and
+  expected: determinism makes re-executions byte-equal), folds worker
+  telemetry under the single run span, and hands the union to canonical
+  assembly — byte-identical records to a serial run, for any shard
+  count and any fault history.
+* Whatever is *still* missing — e.g. every failover path also died —
+  runs in-process in the parent against ``parent.ckpt``, so the run
+  terminates with every chunk done-or-quarantined no matter what the
+  fleet did.
 
 Resuming a sharded sweep reuses the directory: pass the same
-``checkpoint`` and shard count. (A directory journaled under a
-different shard count is still *correct* to resume — fingerprints
-guard identity, duplicates merge — but chunks recorded in the old
-partition's files are re-run, since each worker replays only its own
-journal.)
+``checkpoint``. A directory journaled under a different shard count
+also resumes: the merge reads all journals, so previously completed
+chunks are replayed (workers still re-execute chunks absent from their
+own journal; the digest dedupe arbitrates the resulting duplicates).
+
+Everything the supervisor observes — stalls, kill escalations,
+relaunches, failovers, reassigned and replayed chunks — is accounted in
+:class:`~.base.SupervisionStats` on the outcome, surfaced as
+``supervision.*`` obs counters and in the CLI fault report.
 """
 
 from __future__ import annotations
@@ -48,7 +82,8 @@ import sys
 import tempfile
 import time
 import warnings
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
 from repro.errors import CheckpointError, ExperimentError, ExperimentWarning
 from repro.feast.backends.base import (
@@ -56,6 +91,7 @@ from repro.feast.backends.base import (
     ChunkDriver,
     ExecutionBackend,
     ExecutionRequest,
+    SupervisionStats,
 )
 from repro.feast.backends.work import ChunkKey, is_parallelizable
 from repro.feast.backends.shardworker import shard_keys
@@ -65,6 +101,16 @@ from repro.obs.spans import Span
 
 #: Seconds between child-process liveness polls.
 _POLL_INTERVAL = 0.05
+
+#: Extra no-progress allowance before a launch's *first* journal growth.
+#: Worker cold-start (interpreter boot, imports, journal replay) must
+#: not count against the stall deadline, or a loaded host kill-storms
+#: healthy workers before they ever open their journal — the liveness
+#: probe only arms once the startup probe has passed.
+_STARTUP_ALLOWANCE = 10.0
+
+#: Journal the parent's terminal in-process sweep appends to.
+_PARENT_JOURNAL = "parent.ckpt"
 
 
 def _shard_stem(shard: int, n_shards: int) -> str:
@@ -107,6 +153,281 @@ def _log_tail(path: str, lines: int = 5) -> str:
     return "\n".join(tail)
 
 
+@dataclass
+class _Slot:
+    """One supervised worker: an original shard or a failover worker."""
+
+    ident: str
+    #: Shard index for originals; ``-1`` for failover workers.
+    shard: int
+    #: The chunk keys this worker owns.
+    keys: List[ChunkKey]
+    journal: str
+    summary: str
+    log: str
+    payload: str
+    #: Whether this is an original shard (failover slots are not
+    #: themselves failed over — the parent sweep is their safety net).
+    original: bool = True
+    launches: int = 0
+    proc: Optional[subprocess.Popen] = None
+    #: Monotonic time before which a (re)launch must not happen.
+    eligible_at: float = 0.0
+    #: Journal-heartbeat state: last observed size / records, and when
+    #: the journal last grew.
+    bytes_seen: int = 0
+    records_seen: int = 0
+    last_progress: float = 0.0
+    #: Whether this launch has produced any journal activity yet; until
+    #: it has, the stall deadline is widened by ``_STARTUP_ALLOWANCE``.
+    saw_progress: bool = False
+    #: When the SIGKILL escalation fires, if a stall SIGTERM was sent.
+    term_at: Optional[float] = None
+    done: bool = False
+    gave_up: bool = False
+
+
+class _Fleet:
+    """Supervises a set of worker slots to completion-or-give-up.
+
+    Runs the poll loop: launch eligible slots, reap exits (relaunch
+    with jittered backoff, or give up and fail over), and watch journal
+    heartbeats for stalls (SIGTERM → grace → SIGKILL). Collects
+    :class:`SupervisionStats` as it goes.
+    """
+
+    def __init__(self, request: ExecutionRequest, directory: str) -> None:
+        self.request = request
+        self.directory = directory
+        self.env = _worker_env()
+        self.slots: List[_Slot] = []
+        self.stats = SupervisionStats()
+
+    def add_slot(
+        self,
+        ident: str,
+        shard: int,
+        keys: List[ChunkKey],
+        original: bool,
+        explicit_keys: bool,
+    ) -> _Slot:
+        slot = _Slot(
+            ident=ident,
+            shard=shard,
+            keys=keys,
+            journal=os.path.join(self.directory, ident + ".ckpt"),
+            summary=os.path.join(self.directory, ident + ".summary.json"),
+            log=os.path.join(self.directory, ident + ".log"),
+            payload=os.path.join(self.directory, ident + ".payload.pkl"),
+            original=original,
+        )
+        payload = {
+            "config": self.request.config,
+            "shard": shard,
+            "n_shards": self.request.shards,
+            "journal": slot.journal,
+            "summary": slot.summary,
+            "policy": self.request.policy,
+            "trace": self.request.trace,
+            # Failover workers get an explicit key list; originals
+            # derive their partition from (shard, n_shards) so the
+            # payload stays oblivious to this run's fault history.
+            "keys": keys if explicit_keys else None,
+        }
+        with open(slot.payload, "wb") as fp:
+            pickle.dump(payload, fp)
+        self.slots.append(slot)
+        return slot
+
+    # -- lifecycle -----------------------------------------------------
+    def _launch(self, slot: _Slot) -> None:
+        slot.launches += 1
+        log = open(slot.log, "a")
+        try:
+            slot.proc = subprocess.Popen(
+                [
+                    sys.executable, "-m",
+                    "repro.feast.backends.shardworker",
+                    slot.payload,
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=self.env,
+            )
+        finally:
+            log.close()
+        # Heartbeat baseline: progress means growth beyond what the
+        # journal already holds (relaunches start with a full journal).
+        slot.bytes_seen = self._journal_size(slot)
+        slot.last_progress = time.monotonic()
+        slot.saw_progress = False
+        slot.term_at = None
+
+    @staticmethod
+    def _journal_size(slot: _Slot) -> int:
+        try:
+            return os.path.getsize(slot.journal)
+        except OSError:
+            return 0
+
+    def drive(self) -> None:
+        """Poll until every slot is done or given up."""
+        while True:
+            live = [s for s in self.slots if not (s.done or s.gave_up)]
+            if not live:
+                return
+            now = time.monotonic()
+            progressed = False
+            for slot in live:
+                if slot.proc is None:
+                    if now >= slot.eligible_at:
+                        self._launch(slot)
+                        progressed = True
+                    continue
+                rc = slot.proc.poll()
+                if rc is not None:
+                    self._reap(slot, rc)
+                    progressed = True
+                else:
+                    self._check_liveness(slot, now)
+            if not progressed:
+                time.sleep(_POLL_INTERVAL)
+
+    def _check_liveness(self, slot: _Slot, now: float) -> None:
+        """Journal-growth heartbeat + the SIGTERM→grace→SIGKILL ladder."""
+        policy = self.request.policy
+        if policy.stall_timeout is None:
+            return
+        size = self._journal_size(slot)
+        if size != slot.bytes_seen:
+            if size > slot.bytes_seen:
+                # Appends are whole lines, so counting newlines in the
+                # grown region tracks the record heartbeat exactly.
+                try:
+                    with open(slot.journal, "rb") as fp:
+                        fp.seek(slot.bytes_seen)
+                        slot.records_seen += fp.read(
+                            size - slot.bytes_seen
+                        ).count(b"\n")
+                except OSError:
+                    pass
+            # A shrink is torn-tail repair on reopen — also liveness.
+            slot.bytes_seen = size
+            slot.last_progress = now
+            slot.saw_progress = True
+            return
+        if slot.term_at is not None:
+            if now >= slot.term_at:
+                slot.proc.kill()
+                self.stats.kills_escalated += 1
+                warnings.warn(
+                    f"{slot.ident} ignored SIGTERM for "
+                    f"{policy.stall_grace:g}s after stalling; escalating "
+                    "to SIGKILL",
+                    ExperimentWarning,
+                    stacklevel=6,
+                )
+                slot.term_at = None  # the kill is final; just reap it
+            return
+        deadline = policy.stall_timeout
+        if not slot.saw_progress:
+            deadline += _STARTUP_ALLOWANCE
+        if now - slot.last_progress >= deadline:
+            self.stats.stalls_detected += 1
+            warnings.warn(
+                f"{slot.ident} stalled: no journal progress for "
+                f"{deadline:g}s "
+                f"({slot.records_seen} chunk(s) journaled this launch); "
+                f"sending SIGTERM with {policy.stall_grace:g}s grace",
+                ExperimentWarning,
+                stacklevel=6,
+            )
+            slot.proc.terminate()
+            slot.term_at = now + policy.stall_grace
+
+    def _reap(self, slot: _Slot, returncode: int) -> None:
+        slot.proc = None
+        if returncode == 0:
+            slot.done = True
+            return
+        policy = self.request.policy
+        if slot.launches >= policy.max_attempts:
+            slot.gave_up = True
+            warnings.warn(
+                f"{slot.ident} exited with code {returncode} on launch "
+                f"{slot.launches}/{policy.max_attempts}; giving up on the "
+                f"worker. Last output:\n{_log_tail(slot.log)}",
+                ExperimentWarning,
+                stacklevel=6,
+            )
+            self._fail_over(slot)
+            return
+        delay = policy.backoff_jittered(
+            slot.launches, self.request.config.seed, slot.ident
+        )
+        slot.eligible_at = time.monotonic() + delay
+        self.stats.relaunches += 1
+        warnings.warn(
+            f"{slot.ident} exited with code {returncode}; "
+            f"relaunching in {delay:.2f}s (launch {slot.launches + 1}/"
+            f"{policy.max_attempts}) — its journal makes "
+            "the relaunch incremental",
+            ExperimentWarning,
+            stacklevel=6,
+        )
+
+    def _fail_over(self, slot: _Slot) -> None:
+        """Repartition a dead shard's remaining keys across survivors.
+
+        Spawns one failover worker per surviving original shard (they
+        model the capacity still standing), each owning a round-robin
+        slice of the dead shard's un-journaled keys and journaling into
+        the same directory. Failover workers that give up are not
+        failed over again — the parent's terminal sweep catches
+        whatever remains.
+        """
+        from repro.feast.persistence import config_fingerprint, iter_journal
+
+        if not slot.original:
+            return
+        journaled: Set[ChunkKey] = set()
+        if os.path.exists(slot.journal):
+            fingerprint = config_fingerprint(self.request.config)
+            journaled = {
+                key for key, _ in iter_journal(
+                    slot.journal, fingerprint=fingerprint
+                )
+            }
+        remaining = [k for k in slot.keys if k not in journaled]
+        survivors = [
+            s for s in self.slots if s.original and not s.gave_up
+        ]
+        if not remaining or not survivors:
+            return
+        self.stats.shards_failed_over += 1
+        self.stats.chunks_reassigned += len(remaining)
+        warnings.warn(
+            f"failing over shard {slot.shard}: reassigning its "
+            f"{len(remaining)} remaining chunk(s) across "
+            f"{len(survivors)} surviving shard(s)",
+            ExperimentWarning,
+            stacklevel=7,
+        )
+        now = time.monotonic()
+        for j in range(len(survivors)):
+            keys = remaining[j::len(survivors)]
+            if not keys:
+                continue
+            failover = self.add_slot(
+                ident=f"failover-{slot.shard}-{j}",
+                shard=-1,
+                keys=keys,
+                original=False,
+                explicit_keys=True,
+            )
+            failover.eligible_at = now
+
+
 class SubprocessBackend(ExecutionBackend):
     """Disjoint shards executed by independent worker subprocesses."""
 
@@ -130,7 +451,11 @@ class SubprocessBackend(ExecutionBackend):
             )
 
     def run(self, request: ExecutionRequest) -> BackendOutcome:
-        from repro.feast.persistence import config_fingerprint, iter_journal
+        from repro.feast.persistence import (
+            config_fingerprint,
+            iter_journal,
+            journal_paths,
+        )
 
         config = request.config
         inst = request.instrumentation
@@ -144,50 +469,32 @@ class SubprocessBackend(ExecutionBackend):
         else:
             os.makedirs(directory, exist_ok=True)
 
-        journals = [
-            os.path.join(directory, _shard_stem(i, n_shards) + ".ckpt")
-            for i in range(n_shards)
-        ]
-        summaries = [
-            os.path.join(directory, _shard_stem(i, n_shards) + ".summary.json")
-            for i in range(n_shards)
-        ]
-        logs = [
-            os.path.join(directory, _shard_stem(i, n_shards) + ".log")
-            for i in range(n_shards)
-        ]
-
         # Chunks already journaled before this run started count as
-        # replayed, not completed, in the progress accounting.
-        pre_existing = set()
-        for path in journals:
-            if os.path.exists(path):
-                for key, _ in iter_journal(path, fingerprint=fingerprint):
-                    pre_existing.add(key)
-
-        payload_paths: List[str] = []
-        for i in range(n_shards):
-            payload = {
-                "config": config,
-                "shard": i,
-                "n_shards": n_shards,
-                "journal": journals[i],
-                "summary": summaries[i],
-                "policy": request.policy,
-                "trace": request.trace,
+        # replayed, not completed, in the progress accounting; the
+        # per-journal breakdown also calibrates each worker's own
+        # replay count (see _merge_summary).
+        pre_by_journal: Dict[str, Set[ChunkKey]] = {}
+        pre_existing: Set[ChunkKey] = set()
+        for path in journal_paths(directory):
+            keys = {
+                key for key, _ in iter_journal(path, fingerprint=fingerprint)
             }
-            path = os.path.join(
-                directory, _shard_stem(i, n_shards) + ".payload.pkl"
-            )
-            with open(path, "wb") as fp:
-                pickle.dump(payload, fp)
-            payload_paths.append(path)
+            pre_by_journal[path] = keys
+            pre_existing |= keys
 
-        fallback: List[int] = self._drive_workers(
-            request, payload_paths, logs
-        )
+        fleet = _Fleet(request, directory)
+        for i in range(n_shards):
+            fleet.add_slot(
+                ident=_shard_stem(i, n_shards),
+                shard=i,
+                keys=shard_keys(config, i, n_shards),
+                original=True,
+                explicit_keys=False,
+            )
+        fleet.drive()
 
         outcome = BackendOutcome()
+        outcome.supervision.merge(fleet.stats)
         seen: Dict[ChunkKey, str] = {}
 
         def merge_chunk(key: ChunkKey, chunk) -> None:
@@ -206,120 +513,75 @@ class SubprocessBackend(ExecutionBackend):
                 outcome.streamed_trials += chunk.n_trials
             outcome.chunks[key] = chunk if request.keep_records else None
             if key in pre_existing:
+                outcome.supervision.chunks_replayed += 1
                 inst.replayed(chunk.timings, chunk.n_trials)
             else:
                 inst.absorb(chunk.timings, chunk.n_trials)
 
-        for i in range(n_shards):
-            if i in fallback:
-                self._finish_in_process(
-                    request, i, n_shards, journals[i], outcome, seen,
-                )
-                continue
-            for key, chunk in iter_journal(
-                journals[i], fingerprint=fingerprint
-            ):
+        # Merge every journal in the directory: this run's shards and
+        # failover workers, the parent sweep journal, and any files
+        # from a previous partitioning of the same experiment.
+        for path in journal_paths(directory):
+            for key, chunk in iter_journal(path, fingerprint=fingerprint):
                 merge_chunk(key, chunk)
-            self._merge_summary(request, summaries[i], outcome)
+        for slot in fleet.slots:
+            if slot.done:
+                self._merge_summary(
+                    request, slot, pre_by_journal, outcome
+                )
 
-        if fallback:
+        gave_up = sorted(
+            slot.ident for slot in fleet.slots if slot.gave_up
+        )
+        missing = [
+            key for key in config.chunk_keys()
+            if key not in seen and key not in outcome.quarantined
+        ]
+        if missing:
+            self._finish_in_process(
+                request, missing, directory, outcome, seen
+            )
+        if gave_up:
             outcome.degraded_reason = (
-                f"shard(s) {sorted(fallback)} kept failing after "
-                f"{request.policy.max_attempts} launch(es); their "
-                "remaining chunks ran in-process in the parent"
+                f"worker(s) {gave_up} kept failing after "
+                f"{request.policy.max_attempts} launch(es)"
+                + (
+                    f"; {len(missing)} chunk(s) ran in-process in the parent"
+                    if missing else
+                    "; failover workers completed their remaining chunks"
+                )
             )
         if ephemeral:
             shutil.rmtree(directory, ignore_errors=True)
         return outcome
 
     # ------------------------------------------------------------------
-    def _drive_workers(
-        self,
-        request: ExecutionRequest,
-        payload_paths: List[str],
-        logs: List[str],
-    ) -> List[int]:
-        """Launch all shards; relaunch failures. Returns given-up shards."""
-        env = _worker_env()
-        launches = {i: 0 for i in range(len(payload_paths))}
-        fallback: List[int] = []
-
-        def launch(i: int) -> subprocess.Popen:
-            launches[i] += 1
-            log = open(logs[i], "a")
-            try:
-                return subprocess.Popen(
-                    [
-                        sys.executable, "-m",
-                        "repro.feast.backends.shardworker",
-                        payload_paths[i],
-                    ],
-                    stdout=log,
-                    stderr=subprocess.STDOUT,
-                    env=env,
-                )
-            finally:
-                log.close()
-
-        running = {i: launch(i) for i in range(len(payload_paths))}
-        while running:
-            finished = [
-                (i, proc) for i, proc in running.items()
-                if proc.poll() is not None
-            ]
-            if not finished:
-                time.sleep(_POLL_INTERVAL)
-                continue
-            for i, proc in finished:
-                del running[i]
-                if proc.returncode == 0:
-                    continue
-                if launches[i] >= request.policy.max_attempts:
-                    warnings.warn(
-                        f"shard {i} exited with code {proc.returncode} on "
-                        f"launch {launches[i]}/"
-                        f"{request.policy.max_attempts}; giving up on the "
-                        f"subprocess and finishing it in-process. Last "
-                        f"output:\n{_log_tail(logs[i])}",
-                        ExperimentWarning,
-                        stacklevel=4,
-                    )
-                    fallback.append(i)
-                    continue
-                warnings.warn(
-                    f"shard {i} exited with code {proc.returncode}; "
-                    f"relaunching (launch {launches[i] + 1}/"
-                    f"{request.policy.max_attempts}) — its journal makes "
-                    "the relaunch incremental",
-                    ExperimentWarning,
-                    stacklevel=4,
-                )
-                running[i] = launch(i)
-        return fallback
-
     def _finish_in_process(
         self,
         request: ExecutionRequest,
-        shard: int,
-        n_shards: int,
-        journal_path: str,
+        missing: List[ChunkKey],
+        directory: str,
         outcome: BackendOutcome,
         seen: Dict[ChunkKey, str],
     ) -> None:
-        """Degraded path: the parent completes one shard itself.
+        """Terminal sweep: the parent completes whatever no worker did.
 
-        The shard's journal is reused, so chunks its worker did manage
-        to complete are replayed, not re-run.
+        Journals into ``parent.ckpt`` in the same directory, so even
+        this degraded path is incremental across resumes. Restricted to
+        the still-missing keys — chunks already merged from worker
+        journals are never re-streamed or re-run.
         """
         from repro.feast.persistence import CheckpointJournal
 
-        journal = CheckpointJournal(journal_path, request.config)
+        journal = CheckpointJournal(
+            os.path.join(directory, _PARENT_JOURNAL), request.config
+        )
         driver = ChunkDriver(
             request.config,
             request.instrumentation,
             request.policy,
             journal=journal,
-            keys=shard_keys(request.config, shard, n_shards),
+            keys=missing,
             on_chunk=request.on_chunk,
             keep_records=request.keep_records,
         )
@@ -334,22 +596,24 @@ class SubprocessBackend(ExecutionBackend):
         outcome.quarantined.update(sub.quarantined)
         outcome.failures.extend(sub.failures)
         outcome.streamed_trials += sub.streamed_trials
+        outcome.supervision.merge(sub.supervision)
 
     def _merge_summary(
         self,
         request: ExecutionRequest,
-        summary_path: str,
+        slot: _Slot,
+        pre_by_journal: Dict[str, Set[ChunkKey]],
         outcome: BackendOutcome,
     ) -> None:
-        """Fold one worker's summary: faults + telemetry."""
+        """Fold one worker's summary: faults, telemetry, replay count."""
         from repro.feast.instrumentation import TrialFailure
 
         try:
-            with open(summary_path) as fp:
+            with open(slot.summary) as fp:
                 summary = json.load(fp)
         except (OSError, json.JSONDecodeError) as exc:
             raise CheckpointError(
-                f"shard summary {summary_path!r} is missing or corrupt "
+                f"shard summary {slot.summary!r} is missing or corrupt "
                 f"({exc}) although its worker exited cleanly"
             ) from exc
         outcome.failures.extend(
@@ -357,6 +621,17 @@ class SubprocessBackend(ExecutionBackend):
         )
         for scenario, index, reason in summary.get("quarantined", []):
             outcome.quarantined[(str(scenario), int(index))] = str(reason)
+        # Chunks the worker's final launch replayed from its own journal
+        # beyond what predates this run = chunks recovered across
+        # crash/relaunch boundaries *within* this run.
+        replayed_chunks = (
+            int(summary.get("replayed_trials", 0))
+            // max(1, request.config.trials_per_graph)
+        )
+        pre_owned = len(pre_by_journal.get(slot.journal, ()))
+        outcome.supervision.chunks_replayed += max(
+            0, replayed_chunks - pre_owned
+        )
         telemetry = summary.get("telemetry")
         if telemetry is not None and request.instrumentation.telemetry is not None:
             request.instrumentation.telemetry.adopt_chunk(

@@ -10,8 +10,11 @@ any point loses at most the chunk it was executing, and a relaunched
 worker replays its journal and re-runs only what is missing.
 
 The worker receives a pickled payload path on argv (config, shard
-coordinates, journal/summary paths, retry policy, trace flag) and, on
-success, atomically writes a JSON summary: fault accounting plus — when
+coordinates, journal/summary paths, retry policy, trace flag). A
+*failover* worker — spawned when another shard exhausted its launch cap
+— instead receives an explicit ``keys`` list (the dead shard's
+un-journaled chunks) and ``shard == -1``; everything else is identical.
+On success the worker atomically writes a JSON summary: fault accounting plus — when
 tracing — its serialized span trees, metrics registry, and resource
 samples, which the parent grafts under the run span
 (:meth:`repro.obs.Telemetry.adopt_chunk`).
@@ -73,13 +76,21 @@ def shard_keys(config, shard: int, n_shards: int):
 
 def run_shard(payload: dict) -> int:
     """Execute one shard per ``payload``; returns the exit code."""
+    from repro.feast import faultinject
     from repro.feast.backends.base import ChunkDriver
     from repro.feast.persistence import CheckpointJournal
 
     config = payload["config"]
     shard = payload["shard"]
     n_shards = payload["n_shards"]
-    keys = shard_keys(config, shard, n_shards)
+    # Failover workers (shard == -1) receive an explicit key list;
+    # original shards derive their partition arithmetically.
+    keys = payload.get("keys")
+    if keys is None:
+        keys = shard_keys(config, shard, n_shards)
+    # Local-state fault kinds (journal truncation) need to know which
+    # journal this process owns; inert unless a plan injects them.
+    faultinject.set_journal_context(payload["journal"])
     telemetry = obs.Telemetry() if payload["trace"] else None
     inst = Instrumentation(telemetry=telemetry)
     inst.start(len(keys) * config.trials_per_graph)

@@ -17,8 +17,10 @@ lifted out so that serial, process-pool, and subprocess-shard backends
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -106,6 +108,19 @@ class RetryPolicy:
     #: (``trial_timeout × trials_per_graph``) before the parent kills an
     #: overdue chunk; covers graph generation and scheduling jitter.
     timeout_grace: float = 1.0
+    #: Fractional backoff jitter: each retry delay is stretched by up to
+    #: this fraction, deterministically derived from (seed, token,
+    #: attempt), so simultaneous shard relaunches never synchronize
+    #: their retries against a shared journal directory. 0 disables.
+    jitter: float = 0.25
+    #: Liveness supervision (subprocess backend): seconds a shard may go
+    #: without journal progress before it is declared stalled and
+    #: escalated SIGTERM → :attr:`stall_grace` → SIGKILL. ``None``
+    #: disables stall detection (the default — a long legitimate chunk
+    #: produces no journal growth while it computes).
+    stall_timeout: Optional[float] = None
+    #: Seconds between the stall SIGTERM and the SIGKILL escalation.
+    stall_grace: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -118,6 +133,16 @@ class RetryPolicy:
             raise ExperimentError(
                 f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
             )
+        if self.jitter < 0:
+            raise ExperimentError(f"jitter must be >= 0, got {self.jitter}")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ExperimentError(
+                f"stall_timeout must be > 0, got {self.stall_timeout}"
+            )
+        if self.stall_grace < 0:
+            raise ExperimentError(
+                f"stall_grace must be >= 0, got {self.stall_grace}"
+            )
 
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "RetryPolicy":
@@ -129,6 +154,25 @@ class RetryPolicy:
             self.backoff_max,
             self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
         )
+
+    def backoff_jittered(self, attempt: int, seed: int, token: str) -> float:
+        """:meth:`backoff` stretched by deterministic, seed-derived jitter.
+
+        The jitter fraction is drawn from a :class:`random.Random`
+        seeded with a stable blake2b hash of ``(seed, token, attempt)``:
+        the same coordinates always yield the same delay (reproducible
+        runs), while different tokens — shard idents, chunk keys — get
+        decorrelated delays, so a fleet of relaunching shards never
+        thunders back in lockstep.
+        """
+        base = self.backoff(attempt)
+        if self.jitter <= 0 or base <= 0:
+            return base
+        digest = hashlib.blake2b(
+            f"{seed}:{token}:{attempt}".encode("utf-8"), digest_size=8
+        ).digest()
+        rng = random.Random(int.from_bytes(digest, "big"))
+        return base * (1.0 + self.jitter * rng.random())
 
 
 @dataclass(frozen=True)

@@ -141,6 +141,12 @@ def run_parallel_experiment(
             engine=backend_name,
         ):
             outcome = engine.run(request)
+        # Supervision outcomes become counters exactly once, here in
+        # the parent (never inside drivers/workers, whose metrics are
+        # adopted into this session and would double-count).
+        for name, value in outcome.supervision.as_dict().items():
+            if value:
+                obs.count(f"supervision.{name}", value)
         if parent_sample is not None:
             used = sample_resources().delta(parent_sample)
             obs.gauge("parent.rss_max_kb", used.rss_max_kb)
@@ -177,4 +183,5 @@ def run_parallel_experiment(
         quarantined=quarantined,
         fallback_reason=fallback_reason,
         streamed_trials=outcome.streamed_trials,
+        supervision=outcome.supervision,
     )

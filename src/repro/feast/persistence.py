@@ -37,7 +37,7 @@ from repro.feast.aggregate import mean_max_lateness
 from repro.feast.config import ExperimentConfig, MethodSpec
 from repro.feast.instrumentation import PhaseTimings, TrialFailure
 from repro.feast.runner import ExperimentResult, TrialRecord
-from repro.obs.export import atomic_write_text
+from repro.obs.export import atomic_write_text, fsync_directory
 
 #: Backward-compatible alias — the implementation moved to
 #: :func:`repro.obs.export.atomic_write_text` so the event log and the
@@ -332,6 +332,10 @@ class CheckpointJournal:
                 f"cannot create checkpoint {self.path!r}: {exc}"
             ) from exc
         self._write_line(fd, self._header_line())
+        # Appends fsync the file; creation must also fsync the parent
+        # directory, or a crash right after shard spawn could lose the
+        # journal's directory entry despite the synced header.
+        fsync_directory(directory)
         return fd
 
     def _open_existing(self) -> int:

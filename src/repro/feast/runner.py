@@ -37,7 +37,10 @@ import hashlib
 import random
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.feast.backends.base import SupervisionStats
 
 from repro.core.annotations import DeadlineAssignment
 from repro.errors import (
@@ -177,6 +180,11 @@ class ExperimentResult:
     #: Trials whose records were streamed into a ``record_sink`` instead
     #: of being kept on ``records`` (0 for non-streaming runs).
     streamed_trials: int = 0
+    #: Liveness/failover accounting from the execution backend
+    #: (:class:`repro.feast.backends.SupervisionStats`): stalls detected,
+    #: kill escalations, relaunches, failovers, reassigned and replayed
+    #: chunks. ``None`` on the classic unsupervised serial path.
+    supervision: Optional["SupervisionStats"] = None
 
     @property
     def complete(self) -> bool:

@@ -36,12 +36,35 @@ TRACE_VERSION = 1
 EVENT_KINDS = ("header", "span", "metrics", "resource", "failure", "summary")
 
 
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk, best-effort.
+
+    ``fsync`` on a *file* persists its contents, not the directory entry
+    naming it: after a crash, a freshly created (or renamed-into-place)
+    file can vanish even though its bytes were synced. Syncing the
+    parent directory closes that window. Platforms or filesystems that
+    refuse ``open``/``fsync`` on directories are silently tolerated —
+    this only ever *adds* durability.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + fsync + replace).
 
     Either the old content or the complete new content exists at ``path``
     at every instant; a crash mid-write leaves the destination untouched
-    and no partial temp file behind. (Shared with
+    and no partial temp file behind; the parent directory is synced
+    after the rename so the *name* survives a crash too. (Shared with
     :mod:`repro.feast.persistence`, which re-exports it.)
     """
     path = os.path.abspath(path)
@@ -55,6 +78,7 @@ def atomic_write_text(path: str, text: str) -> None:
             fp.flush()
             os.fsync(fp.fileno())
         os.replace(tmp, path)
+        fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp)

@@ -108,6 +108,26 @@ def render_run_report(events: List[Dict[str, Any]]) -> str:
                 f"pid {e['pid']}"
             )
 
+    supervision = {
+        name[len("supervision."):]: value
+        for name, value in ((metrics or {}).get("counters") or {}).items()
+        if name.startswith("supervision.") and value
+    }
+    if supervision:
+        labels = {
+            "stalls_detected": "shards stalled (no journal progress)",
+            "kills_escalated": "SIGTERM ignored, escalated to SIGKILL",
+            "relaunches": "worker relaunches",
+            "shards_failed_over": "shards failed over to survivors",
+            "chunks_reassigned": "chunks reassigned by failover",
+            "chunks_replayed": "chunks replayed from journals",
+        }
+        lines.append("")
+        lines.append("  supervision (fault tolerance):")
+        for name, value in sorted(supervision.items()):
+            label = labels.get(name, name)
+            lines.append(f"    {label:<40} {value:>8g}")
+
     if metrics is not None:
         counters = metrics["counters"]
         if counters:

@@ -412,6 +412,44 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
         with pytest.raises(Exception, match="max_pool_respawns"):
             RetryPolicy(max_pool_respawns=-1)
+        with pytest.raises(Exception, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(Exception, match="stall_timeout"):
+            RetryPolicy(stall_timeout=0.0)
+        with pytest.raises(Exception, match="stall_grace"):
+            RetryPolicy(stall_grace=-1.0)
+
+    def test_jittered_backoff_sequence_is_pinned(self):
+        """The jitter is seed-derived, not wall-clock random: a fixed
+        (seed, token) must reproduce this exact delay sequence on every
+        host, so chaos campaigns replay with identical schedules."""
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=2.0,
+                             backoff_max=3.0, jitter=0.25)
+        delays = [
+            policy.backoff_jittered(a, 11, "MDET:3") for a in (1, 2, 3, 4, 5)
+        ]
+        assert delays == [
+            0.5210250684363562,
+            1.2158885423558108,
+            2.2950374906062176,
+            3.3092270874503753,
+            3.3296067757876937,
+        ]
+        # Deterministic: the same inputs replay the same sequence.
+        assert delays == [
+            policy.backoff_jittered(a, 11, "MDET:3") for a in (1, 2, 3, 4, 5)
+        ]
+        # Every delay sits in [base, base * (1 + jitter)].
+        for attempt, delay in enumerate(delays, start=1):
+            base = policy.backoff(attempt)
+            assert base <= delay <= base * 1.25
+        # Different tokens and seeds decorrelate the schedules...
+        assert policy.backoff_jittered(1, 11, "LDET:0") != delays[0]
+        assert policy.backoff_jittered(1, 12, "MDET:3") != delays[0]
+        # ...and zero jitter degrades to the plain deterministic ladder.
+        flat = RetryPolicy(backoff_base=0.5, backoff_factor=2.0,
+                           backoff_max=3.0, jitter=0.0)
+        assert flat.backoff_jittered(2, 11, "MDET:3") == flat.backoff(2)
 
 
 class TestBudget:

@@ -30,6 +30,14 @@ inspect it or convert it for Perfetto / ``chrome://tracing``::
     repro report traces/figure5.events.jsonl
     repro trace traces/figure5.events.jsonl -o figure5.trace.json
 
+Watch a traced run live (from another terminal), export an OpenMetrics
+snapshot for external scrapers, and track performance across runs::
+
+    repro top --follow traces/
+    repro run figure5 --trace traces/ --metrics-out metrics.prom
+    repro runs list
+    repro runs diff last~1 last --gate 10
+
 Inspect one generated workload and one schedule::
 
     repro demo --processors 4 --metric ADAPT
@@ -44,6 +52,7 @@ import argparse
 import os
 import random
 import sys
+import time
 from typing import Callable, List, Optional, Sequence
 
 from repro.core import ast, bst, validate_assignment
@@ -185,7 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="DIR",
         help="record telemetry (spans, metrics, resource samples) and "
         "write DIR/<experiment>.events.jsonl; inspect with "
-        "`repro report` / `repro trace`",
+        "`repro report` / `repro trace`; also streams live status "
+        "snapshots to DIR/<experiment>.status.jsonl (watch with "
+        "`repro top DIR`) and registers the run in the run registry",
+    )
+    run.add_argument(
+        "--status-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between live status snapshots on traced runs "
+        "(default: 1.0)",
+    )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="keep FILE updated (atomically) with an OpenMetrics/"
+        "Prometheus textfile snapshot of the run; scrape-able by the "
+        "node-exporter textfile collector",
+    )
+    run.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="run registry directory (default: .repro/registry/); "
+        "traced runs register themselves there — inspect with "
+        "`repro runs list/show/diff`",
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
@@ -227,6 +255,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default: the input with .events.jsonl "
         "replaced by .trace.json)",
     )
+
+    top = sub.add_parser(
+        "top",
+        help="status board of a live (or finished) traced run: "
+        "progress, throughput sparkline, per-shard liveness, "
+        "supervision incidents",
+    )
+    top.add_argument(
+        "path",
+        help="a status.jsonl stream, or the --trace directory of the "
+        "run (newest stream wins)",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="redraw until the run finishes (default: one snapshot)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (the default)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="redraw interval with --follow (default: 1.0)",
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="the persistent run registry: list, inspect, and diff "
+        "registered runs (regression gate for CI)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="list registered runs, newest first"
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="show one registered run in full"
+    )
+    runs_show.add_argument(
+        "run", help="run id, unique prefix, or last / last~N"
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two registered runs' phase timings and "
+        "throughput; exits 1 when the candidate regresses past --gate",
+    )
+    runs_diff.add_argument(
+        "baseline", help="baseline run (id, unique prefix, last~N)"
+    )
+    runs_diff.add_argument(
+        "candidate", help="candidate run (id, unique prefix, last)"
+    )
+    runs_diff.add_argument(
+        "--gate", type=float, default=10.0, metavar="PCT",
+        help="regression gate: fail when a phase slows down (or "
+        "throughput drops) by more than PCT percent (default: 10)",
+    )
+    for p in (runs_list, runs_show, runs_diff):
+        p.add_argument(
+            "--registry", default=None, metavar="DIR",
+            help="registry directory (default: .repro/registry/)",
+        )
 
     ckpt = sub.add_parser(
         "checkpoint",
@@ -492,6 +581,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+    if args.status_interval <= 0:
+        print("error: --status-interval must be > 0", file=sys.stderr)
+        return 2
     checkpoints = {}
     if args.checkpoint:
         for config in configs:
@@ -521,11 +613,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         progress = None if args.quiet else _progress_printer(args.no_color)
 
         instrumentation = None
-        if args.profile or args.trace:
+        if args.profile or args.trace or args.metrics_out or args.registry:
             from repro.feast.instrumentation import Instrumentation
 
             telemetry = None
-            if args.trace:
+            if args.trace or args.metrics_out:
                 from repro.obs import Telemetry
 
                 telemetry = Telemetry()
@@ -538,13 +630,72 @@ def cmd_run(args: argparse.Namespace) -> int:
                 max_attempts=config.max_retries + 1,
                 stall_timeout=args.stall_timeout,
             )
-        result = run_experiment(
-            config, progress=progress, jobs=jobs,
-            instrumentation=instrumentation,
-            checkpoint=checkpoints.get(config.name),
-            backend=args.backend, shards=args.shards,
-            retry=retry,
-        )
+
+        # Live telemetry: a status stream in the trace dir (when
+        # tracing), a periodic sampler feeding it and/or the
+        # OpenMetrics file. Observation only — the engine never sees
+        # any of it, so records stay bit-identical (DESIGN.md §11).
+        from repro.obs.export import make_run_id
+        from repro.obs.live import StatusSampler, StatusStream, activate_status
+
+        run_id = make_run_id()
+        started_epoch = time.time()
+        stream = None
+        if args.trace:
+            from repro.feast.sweep import status_path
+
+            stream = StatusStream(
+                status_path(args.trace, config), config.name, run_id
+            )
+        metrics_out = args.metrics_out
+        if metrics_out and len(configs) > 1:
+            metrics_out = _suffixed_path(metrics_out, config.name)
+        sampler = None
+        if stream is not None or metrics_out:
+            sampler = StatusSampler(
+                stream, instrumentation,
+                interval=args.status_interval,
+                metrics_out=metrics_out,
+                backend=args.backend or ("serial" if jobs == 1 else "pool"),
+                jobs=jobs, shards=args.shards,
+            )
+        try:
+            with activate_status(stream):
+                if sampler is not None:
+                    sampler.start()
+                result = run_experiment(
+                    config, progress=progress, jobs=jobs,
+                    instrumentation=instrumentation,
+                    checkpoint=checkpoints.get(config.name),
+                    backend=args.backend, shards=args.shards,
+                    retry=retry,
+                )
+        finally:
+            if sampler is not None:
+                sampler.stop()
+            if stream is not None:
+                stream.close(
+                    trials=instrumentation.trials_completed,
+                    wall_elapsed=instrumentation.wall_elapsed,
+                )
+
+        if args.trace or args.registry:
+            from repro.feast.sweep import registry_record, trace_path
+            from repro.obs.registry import DEFAULT_REGISTRY_DIR, RunRegistry
+
+            registry = RunRegistry(args.registry or DEFAULT_REGISTRY_DIR)
+            registry.append(registry_record(
+                run_id, result, instrumentation,
+                backend=args.backend, shards=args.shards,
+                started=started_epoch,
+                trace=(
+                    trace_path(args.trace, config) if args.trace else ""
+                ),
+            ))
+            print(
+                f"registered run {run_id} in {registry.directory}",
+                file=sys.stderr,
+            )
         print(lateness_report(result))
         print()
         summary = _fault_summary(result)
@@ -819,12 +970,41 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_events_path(path: str) -> str:
+    """Accept an event log *or* a trace directory (newest log wins).
+
+    Raises :class:`~repro.errors.SerializationError` with a one-line
+    explanation for a missing path or an empty directory — the chaos
+    truncate-journal kind can leave a trace dir with no usable log, and
+    that must be a clean error, not a traceback.
+    """
+    import glob
+
+    from repro.errors import SerializationError
+
+    if os.path.isdir(path):
+        candidates = sorted(
+            glob.glob(os.path.join(path, "*.events.jsonl")),
+            key=os.path.getmtime,
+        )
+        if not candidates:
+            raise SerializationError(
+                f"no *.events.jsonl log in {path!r} — was the run "
+                "started with --trace?"
+            )
+        return candidates[-1]
+    if not os.path.exists(path):
+        raise SerializationError(f"no such event log: {path!r}")
+    return path
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.errors import SerializationError
     from repro.obs import read_events, render_run_report
 
     try:
-        events = read_events(args.events, allow_partial=True)
+        events_path = _resolve_events_path(args.events)
+        events = read_events(events_path, allow_partial=True)
     except SerializationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -836,20 +1016,74 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.errors import SerializationError
     from repro.obs import read_events, write_chrome_trace
 
-    output = args.output
-    if output is None:
-        base = args.events
-        if base.endswith(".events.jsonl"):
-            base = base[: -len(".events.jsonl")]
-        output = base + ".trace.json"
     try:
-        events = read_events(args.events, allow_partial=True)
+        events_path = _resolve_events_path(args.events)
+        output = args.output
+        if output is None:
+            base = events_path
+            if base.endswith(".events.jsonl"):
+                base = base[: -len(".events.jsonl")]
+            output = base + ".trace.json"
+        events = read_events(events_path, allow_partial=True)
         write_chrome_trace(output, events)
     except SerializationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"wrote {output}")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.errors import SerializationError
+    from repro.obs.board import find_status_file, follow, render_board
+    from repro.obs.live import read_status
+
+    if args.follow and args.once:
+        print("error: choose --follow or --once, not both", file=sys.stderr)
+        return 2
+    try:
+        path = find_status_file(args.path)
+        if args.follow:
+            follow(path, print, interval=args.interval)
+        else:
+            print(render_board(read_status(path)))
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.errors import SerializationError
+    from repro.obs.registry import (
+        DEFAULT_REGISTRY_DIR,
+        RunRegistry,
+        diff_runs,
+        render_run_diff,
+        render_run_list,
+        render_run_show,
+    )
+
+    registry = RunRegistry(args.registry or DEFAULT_REGISTRY_DIR)
+    try:
+        if args.runs_command == "list":
+            print(render_run_list(registry.load()))
+            return 0
+        if args.runs_command == "show":
+            print(render_run_show(registry.get(args.run)))
+            return 0
+        if args.runs_command == "diff":
+            baseline = registry.get(args.baseline)
+            candidate = registry.get(args.candidate)
+            diff = diff_runs(baseline, candidate)
+            print(render_run_diff(diff, args.gate))
+            return 1 if diff.regressions(args.gate) else 0
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled runs command {args.runs_command!r}")
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -910,6 +1144,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # The reader closed the pipe early (`repro top --once DIR |
+        # head`). Exit quietly like any Unix filter; point stdout at
+        # devnull first so the interpreter's shutdown flush cannot
+        # raise the same error a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
@@ -928,6 +1174,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_report(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "top":
+        return cmd_top(args)
+    if args.command == "runs":
+        return cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Dict, List, Optional, Tuple
 
 from repro.errors import ExperimentError
+from repro.obs import live
 from repro.feast.config import ExperimentConfig
 from repro.feast.instrumentation import Instrumentation, TrialFailure
 from repro.feast.runner import TrialRecord
@@ -259,6 +260,16 @@ class ChunkDriver:
             self.on_chunk(key, chunk)
             self.streamed_trials += chunk.n_trials
         self.done[key] = chunk if self.keep_records else None
+        # Observation only: a no-op unless a live status stream is
+        # active in this process (shard workers never have one).
+        live.publish(
+            "progress",
+            scenario=key[0],
+            index=key[1],
+            trials=chunk.n_trials,
+            replayed=journaled,
+            done_chunks=len(self.done),
+        )
 
     def complete(self, key: ChunkKey, chunk) -> None:
         """Record one successfully executed chunk."""

@@ -39,6 +39,7 @@ from repro.feast.backends.base import (
     ExecutionRequest,
 )
 from repro.feast.backends.work import ChunkKey, execute_chunk, is_parallelizable
+from repro.obs import live as obs_live
 
 
 class PoolSupervisor(ChunkDriver):
@@ -174,6 +175,13 @@ class PoolSupervisor(ChunkDriver):
         self._discard_pool()
         self.pool_deaths += 1
         self.inst.pool_respawned()
+        obs_live.publish(
+            "supervision", event="pool-respawn", ident="pool",
+            detail=(
+                f"pool death {self.pool_deaths} "
+                f"({len(victims)} in-flight chunk(s) requeued)"
+            ),
+        )
         now = time.monotonic()
         if len(victims) == 1:
             key = victims[0]
@@ -193,6 +201,10 @@ class PoolSupervisor(ChunkDriver):
                 f"process pool died {self.pool_deaths} times "
                 f"(> max_pool_respawns={self.policy.max_pool_respawns}); "
                 "degraded to in-process serial execution"
+            )
+            obs_live.publish(
+                "supervision", event="pool-degraded", ident="pool",
+                detail=self.degraded_reason,
             )
             return
         self._spawn_pool()

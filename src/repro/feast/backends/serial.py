@@ -24,6 +24,7 @@ import time
 from typing import Dict, Optional
 
 from repro.errors import ExperimentError
+from repro.obs import live as obs_live
 from repro.obs import runtime as obs
 from repro.core.annotations import DeadlineAssignment
 from repro.feast.config import ExperimentConfig, speeds_for
@@ -90,8 +91,18 @@ def run_classic_serial(
     with obs.activate(inst.telemetry), obs.toplevel_span(
         "run", experiment=config.name, jobs=1, engine="serial"
     ):
-        for scenario in config.scenarios:
+        for scenario_no, scenario in enumerate(config.scenarios):
             graph_config = config.graph_config.with_scenario(scenario)
+            # Coarse progress for live watchers: the classic loop has no
+            # chunk completions, so one event per scenario stands in.
+            obs_live.publish(
+                "progress",
+                scenario=scenario,
+                index=scenario_no,
+                trials=inst.trials_completed,
+                replayed=False,
+                done_chunks=scenario_no,
+            )
             with obs.span("scenario", scenario=scenario):
                 with inst.phase("generate"):
                     graphs = [

@@ -95,6 +95,7 @@ from repro.feast.backends.base import (
 )
 from repro.feast.backends.work import ChunkKey, is_parallelizable
 from repro.feast.backends.shardworker import shard_keys
+from repro.obs import live as obs_live
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.resources import ResourceSample
 from repro.obs.spans import Span
@@ -270,8 +271,46 @@ class _Fleet:
         except OSError:
             return 0
 
+    def _probe(self) -> Dict[str, object]:
+        """Live per-slot rows for the status sampler (observation only).
+
+        Called from the sampler thread, so it iterates over a snapshot
+        copy of the slot list and performs plain attribute reads.
+        """
+        now = time.monotonic()
+        rows = []
+        for slot in list(self.slots):
+            if slot.done:
+                state = "done"
+            elif slot.gave_up:
+                state = "gave-up"
+            elif slot.proc is None:
+                state = "waiting"
+            elif slot.term_at is not None:
+                state = "term-pending"
+            else:
+                state = "running"
+            proc = slot.proc
+            rows.append({
+                "ident": slot.ident,
+                "shard": slot.shard,
+                "state": state,
+                "pid": proc.pid if proc is not None else None,
+                "launches": slot.launches,
+                "records_seen": slot.records_seen,
+                "heartbeat_age": (
+                    round(now - slot.last_progress, 3)
+                    if state in ("running", "term-pending") else None
+                ),
+            })
+        return {"slots": rows}
+
     def drive(self) -> None:
         """Poll until every slot is done or given up."""
+        with obs_live.probe("fleet", self._probe):
+            self._drive()
+
+    def _drive(self) -> None:
         while True:
             live = [s for s in self.slots if not (s.done or s.gave_up)]
             if not live:
@@ -315,11 +354,23 @@ class _Fleet:
             slot.bytes_seen = size
             slot.last_progress = now
             slot.saw_progress = True
+            # Chunks complete inside the shard worker (no status stream
+            # there), so journal growth is the parent's progress signal.
+            obs_live.publish(
+                "progress",
+                shard=slot.shard,
+                ident=slot.ident,
+                chunks_journaled=slot.records_seen,
+            )
             return
         if slot.term_at is not None:
             if now >= slot.term_at:
                 slot.proc.kill()
                 self.stats.kills_escalated += 1
+                obs_live.publish(
+                    "supervision", event="kill-escalated", ident=slot.ident,
+                    detail=f"SIGTERM ignored for {policy.stall_grace:g}s",
+                )
                 warnings.warn(
                     f"{slot.ident} ignored SIGTERM for "
                     f"{policy.stall_grace:g}s after stalling; escalating "
@@ -334,6 +385,13 @@ class _Fleet:
             deadline += _STARTUP_ALLOWANCE
         if now - slot.last_progress >= deadline:
             self.stats.stalls_detected += 1
+            obs_live.publish(
+                "supervision", event="stall-detected", ident=slot.ident,
+                detail=(
+                    f"no journal progress for {deadline:g}s "
+                    f"({slot.records_seen} chunk(s) this launch)"
+                ),
+            )
             warnings.warn(
                 f"{slot.ident} stalled: no journal progress for "
                 f"{deadline:g}s "
@@ -349,10 +407,26 @@ class _Fleet:
         slot.proc = None
         if returncode == 0:
             slot.done = True
+            # Without a stall policy the journal is never polled, so a
+            # clean exit is the one unconditional progress signal the
+            # parent sees per shard.
+            obs_live.publish(
+                "progress",
+                shard=slot.shard,
+                ident=slot.ident,
+                done_shards=sum(1 for s in self.slots if s.done),
+            )
             return
         policy = self.request.policy
         if slot.launches >= policy.max_attempts:
             slot.gave_up = True
+            obs_live.publish(
+                "supervision", event="gave-up", ident=slot.ident,
+                detail=(
+                    f"exit {returncode} on launch "
+                    f"{slot.launches}/{policy.max_attempts}"
+                ),
+            )
             warnings.warn(
                 f"{slot.ident} exited with code {returncode} on launch "
                 f"{slot.launches}/{policy.max_attempts}; giving up on the "
@@ -367,6 +441,13 @@ class _Fleet:
         )
         slot.eligible_at = time.monotonic() + delay
         self.stats.relaunches += 1
+        obs_live.publish(
+            "supervision", event="relaunch", ident=slot.ident,
+            detail=(
+                f"exit {returncode}; relaunching in {delay:.2f}s "
+                f"(launch {slot.launches + 1}/{policy.max_attempts})"
+            ),
+        )
         warnings.warn(
             f"{slot.ident} exited with code {returncode}; "
             f"relaunching in {delay:.2f}s (launch {slot.launches + 1}/"
@@ -406,6 +487,13 @@ class _Fleet:
             return
         self.stats.shards_failed_over += 1
         self.stats.chunks_reassigned += len(remaining)
+        obs_live.publish(
+            "supervision", event="failover", ident=slot.ident,
+            detail=(
+                f"{len(remaining)} chunk(s) reassigned across "
+                f"{len(survivors)} survivor(s)"
+            ),
+        )
         warnings.warn(
             f"failing over shard {slot.shard}: reassigning its "
             f"{len(remaining)} remaining chunk(s) across "

@@ -55,6 +55,9 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.errors import ExperimentError, ExperimentWarning
 from repro.obs import runtime as obs
 
+#: Interned histogram names per phase (``phase.<name>.seconds``).
+_PHASE_METRICS: Dict[str, str] = {}
+
 #: Progress hook: called with (done_trials, total_trials).
 ProgressFn = Callable[[int, int], None]
 
@@ -235,7 +238,10 @@ class Instrumentation:
         finally:
             elapsed = time.perf_counter() - began
             self.timings.add(name, elapsed)
-            obs.observe(f"phase.{name}.seconds", elapsed)
+            metric = _PHASE_METRICS.get(name)
+            if metric is None:  # cache: phase() runs twice per trial
+                metric = _PHASE_METRICS[name] = f"phase.{name}.seconds"
+            obs.observe(metric, elapsed)
 
     def completed(self, n_trials: int = 1) -> None:
         """Count ``n_trials`` more trials done and fire progress.

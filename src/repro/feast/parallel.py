@@ -37,6 +37,7 @@ import time
 from typing import Callable, List, Optional
 
 from repro.errors import ExperimentError
+from repro.obs import live as obs_live
 from repro.obs import runtime as obs
 from repro.obs.resources import sample_resources
 from repro.feast.config import ExperimentConfig
@@ -147,6 +148,17 @@ def run_parallel_experiment(
         for name, value in outcome.supervision.as_dict().items():
             if value:
                 obs.count(f"supervision.{name}", value)
+        if outcome.supervision.any():
+            # One terminal supervision summary on the live stream, so a
+            # watcher that missed the transitions still sees the totals.
+            obs_live.publish(
+                "supervision", event="summary", ident="run",
+                detail=", ".join(
+                    f"{name}={value}"
+                    for name, value in outcome.supervision.as_dict().items()
+                    if value
+                ),
+            )
         if parent_sample is not None:
             used = sample_resources().delta(parent_sample)
             obs.gauge("parent.rss_max_kb", used.rss_max_kb)

@@ -108,6 +108,61 @@ def trace_path(trace_dir: str, config: ExperimentConfig) -> str:
     return os.path.join(trace_dir, f"{config.name}.events.jsonl")
 
 
+def status_path(trace_dir: str, config: ExperimentConfig) -> str:
+    """The live status-stream path of one config under ``trace_dir``."""
+    return os.path.join(trace_dir, f"{config.name}.status.jsonl")
+
+
+def registry_record(
+    run_id: str,
+    result: ExperimentResult,
+    inst: Instrumentation,
+    backend: Optional[str] = None,
+    shards: int = 0,
+    started: float = 0.0,
+    trace: str = "",
+):
+    """Build the run-registry record of one finished run.
+
+    Bridges the feast-side result/instrumentation objects into the
+    feast-free :class:`repro.obs.registry.RunRecord`, including the
+    config fingerprint (record-determining fields only) and the
+    order-sensitive digest of the canonical records.
+    """
+    from repro.feast.persistence import config_fingerprint
+    from repro.obs.registry import RunRecord, records_digest
+
+    config = result.config
+    return RunRecord(
+        run_id=run_id,
+        experiment=config.name,
+        fingerprint=config_fingerprint(config),
+        backend=backend or ("serial" if result.jobs == 1 else "pool"),
+        jobs=result.jobs,
+        shards=shards,
+        started=started,
+        wall_seconds=inst.wall_elapsed,
+        n_trials=inst.trials_completed,
+        n_records=len(result.records),
+        streamed_trials=result.streamed_trials,
+        replayed_trials=inst.replayed_trials,
+        failures=len(result.failures),
+        retries=inst.retries,
+        quarantined=inst.quarantined,
+        phase_seconds=inst.timings.as_dict(),
+        supervision=(
+            {}
+            if result.supervision is None  # classic serial path
+            else {
+                k: float(v)
+                for k, v in result.supervision.as_dict().items()
+            }
+        ),
+        records_digest=records_digest(result.records),
+        trace_path=trace,
+    )
+
+
 def run_summary(
     result: ExperimentResult, inst: Instrumentation
 ) -> Dict[str, Any]:

@@ -17,6 +17,15 @@ sampling, and trace export, threaded through the whole pipeline:
 * :mod:`repro.obs.export` — the append-only JSONL event log, schema
   validation, and Chrome-trace/Perfetto conversion.
 * :mod:`repro.obs.report` — human-readable run reports.
+* :mod:`repro.obs.live` — the *streaming* side: a ``status.jsonl``
+  stream that grows during the run (:class:`StatusStream`), the
+  :class:`StatusSampler` thread snapshotting progress/liveness, and
+  the ambient :func:`publish`/:func:`probe` hooks (no-ops when off).
+* :mod:`repro.obs.promexport` — OpenMetrics textfile export
+  (``--metrics-out``), rewritten atomically for external scrapers.
+* :mod:`repro.obs.registry` — the append-only run registry behind
+  ``repro runs list/show/diff`` and its regression gate.
+* :mod:`repro.obs.board` — the ``repro top`` status-board renderer.
 
 Enable tracing from the CLI with ``repro run --trace DIR``, then
 inspect with ``repro report`` / ``repro trace``; from code, pass a
@@ -55,6 +64,26 @@ from repro.obs.export import (
     write_events,
 )
 from repro.obs.report import render_run_report
+from repro.obs.live import (
+    STATUS_FORMAT,
+    STATUS_VERSION,
+    StatusSampler,
+    StatusStream,
+    activate_status,
+    active_status,
+    probe,
+    publish,
+    read_status,
+)
+from repro.obs.promexport import openmetrics_text, write_openmetrics
+from repro.obs.registry import (
+    DEFAULT_REGISTRY_DIR,
+    RunRecord,
+    RunRegistry,
+    diff_runs,
+    records_digest,
+)
+from repro.obs.board import render_board
 
 __all__ = [
     "Span",
@@ -84,4 +113,21 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "render_run_report",
+    "STATUS_FORMAT",
+    "STATUS_VERSION",
+    "StatusStream",
+    "StatusSampler",
+    "activate_status",
+    "active_status",
+    "publish",
+    "probe",
+    "read_status",
+    "openmetrics_text",
+    "write_openmetrics",
+    "DEFAULT_REGISTRY_DIR",
+    "RunRecord",
+    "RunRegistry",
+    "diff_runs",
+    "records_digest",
+    "render_board",
 ]

@@ -352,7 +352,10 @@ def read_events(
     try:
         with open(path) as fp:
             text = fp.read()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        # UnicodeDecodeError covers binary garbage handed to `repro
+        # report` (a .ckpt journal, a truncated pickle); surface it as
+        # the same clean one-line error as an unreadable file.
         raise SerializationError(
             f"cannot read event log {path!r}: {exc}"
         ) from exc
@@ -384,8 +387,9 @@ def chrome_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Convert an event log to Chrome Trace Event Format (JSON object).
 
     Spans become complete ``"X"`` slices (microsecond timestamps rebased
-    to the earliest span), resource samples become ``"C"`` counter
-    tracks, and each process gets a ``process_name`` metadata record.
+    to the earliest span), resource samples and ``supervision.*``
+    counters become ``"C"`` counter tracks, and each process gets a
+    ``process_name`` metadata record.
     The result loads directly in Perfetto or ``chrome://tracing``.
     """
     validate_events(events)
@@ -434,6 +438,22 @@ def chrome_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
                 "user": e["cpu_user_s"], "system": e["cpu_system_s"],
             },
         })
+    # Supervision counters are run totals (no timeline of their own), so
+    # plot each as a counter track stamped at the end of the trace —
+    # Perfetto then shows fault-tolerance incidents next to the spans.
+    end = max(
+        [(e["ts"] - base + e["dur"]) * 1e6 for e in spans], default=0.0
+    )
+    for e in events:
+        if e.get("kind") != "metrics":
+            continue
+        for name, value in sorted((e.get("counters") or {}).items()):
+            if not name.startswith("supervision."):
+                continue
+            trace_events.append({
+                "ph": "C", "name": name, "pid": parent_pid, "tid": 0,
+                "ts": end, "args": {"count": value},
+            })
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",

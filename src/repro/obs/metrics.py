@@ -73,6 +73,20 @@ class Histogram:
             )
 
     def observe(self, value: float) -> None:
+        """Record one observation.
+
+        Non-finite values are **rejected** with an
+        :class:`~repro.errors.ExperimentError`: NaN would silently land
+        in the first bucket (``bisect`` treats every comparison against
+        NaN as false) and poison ``sum``/``min``/``max``, and ±Inf has
+        no meaningful bucket or mean. Negative values are *allowed* and
+        land in the lowest bucket — durations are never negative, but
+        count-valued histograms may legitimately observe signed deltas.
+        """
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ExperimentError(
+                f"histogram observation must be finite, got {value!r}"
+            )
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
         self.total += value
         self.n += 1
@@ -156,12 +170,18 @@ class MetricsRegistry:
 
         ``buckets`` fixes the boundaries on first use (default
         :data:`LATENCY_BUCKETS`); later calls must agree or omit them.
+        Non-finite values (NaN, ±Inf) are rejected with an
+        :class:`~repro.errors.ExperimentError` — see
+        :meth:`Histogram.observe`.
         """
         hist = self.histograms.get(name)
         if hist is None:
             bounds = tuple(buckets) if buckets is not None else LATENCY_BUCKETS
-            hist = self.histograms[name] = Histogram(buckets=bounds)
-        elif buckets is not None and tuple(buckets) != hist.buckets:
+            hist = Histogram(buckets=bounds)
+            hist.observe(value)  # reject before registering the name
+            self.histograms[name] = hist
+            return
+        if buckets is not None and tuple(buckets) != hist.buckets:
             raise ExperimentError(
                 f"histogram {name!r} already has buckets {hist.buckets}; "
                 f"cannot re-bucket to {tuple(buckets)}"

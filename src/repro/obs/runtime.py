@@ -110,19 +110,35 @@ def annotate(**attrs: Any) -> None:
         session.spans.annotate(**attrs)
 
 
-@contextmanager
-def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
-    """Time a block as a span on the active session (no-op when none)."""
+class _NullSpan:
+    """Reusable no-op context manager for the inactive case."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Time a block as a span on the active session (no-op when none).
+
+    Returns the recorder's own context manager directly (not a wrapping
+    generator): ``span`` sits on the per-trial hot path, and every layer
+    of ``@contextmanager`` indirection is measurable at that frequency.
+    """
     session = getattr(_state, "session", None)
     if session is None:
-        yield None
-        return
-    with session.spans.span(name, **attrs) as sp:
-        yield sp
+        return _NULL_SPAN
+    return session.spans.span(name, **attrs)
 
 
-@contextmanager
-def toplevel_span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+def toplevel_span(name: str, **attrs: Any):
     """Like :func:`span`, but only when no span is open yet.
 
     Engine entry points use this for the root ``run`` span so that
@@ -131,7 +147,5 @@ def toplevel_span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
     """
     session = getattr(_state, "session", None)
     if session is None or session.spans.depth > 0:
-        yield None
-        return
-    with session.spans.span(name, **attrs) as sp:
-        yield sp
+        return _NULL_SPAN
+    return session.spans.span(name, **attrs)

@@ -180,6 +180,12 @@ class TestCommands:
 class TestTelemetryCommands:
     BASE = ["run", "figure5", "--graphs", "1", "--sizes", "2", "--quiet"]
 
+    @pytest.fixture(autouse=True)
+    def _isolate_cwd(self, tmp_path, monkeypatch):
+        # Traced runs register themselves in ./.repro/registry/ by
+        # default; keep that out of the repo checkout.
+        monkeypatch.chdir(tmp_path)
+
     def test_trace_run_writes_event_log(self, tmp_path, capsys):
         traces = tmp_path / "traces"
         assert main(self.BASE + ["--trace", str(traces)]) == 0
@@ -295,3 +301,148 @@ class TestCheckpointFlags:
         back = load_result(save)
         assert back.config.trial_timeout == 45.0
         assert back.config.max_retries == 7
+
+
+class TestLiveObservability:
+    BASE = ["run", "figure5", "--graphs", "1", "--sizes", "2", "--quiet"]
+
+    def traced_run(self, tmp_path, capsys, extra=()):
+        traces = str(tmp_path / "traces")
+        registry = str(tmp_path / "registry")
+        code = main(self.BASE + [
+            "--trace", traces, "--registry", registry,
+            "--status-interval", "0.05", *extra,
+        ])
+        err = capsys.readouterr().err
+        return code, traces, registry, err
+
+    def test_traced_run_streams_status_and_registers(self, tmp_path,
+                                                     capsys):
+        code, traces, registry, err = self.traced_run(tmp_path, capsys)
+        assert code == 0
+        from repro.obs import read_status
+        from repro.obs.registry import RunRegistry
+
+        events = read_status(str(tmp_path / "traces" /
+                                 "figure5.status.jsonl"))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "header" and kinds[-1] == "final"
+        assert "progress" in kinds and "status" in kinds
+        assert "registered run" in err
+        records = RunRegistry(registry).load()
+        assert len(records) == 1
+        assert records[0].experiment == "figure5"
+        assert records[0].fingerprint
+        assert records[0].records_digest
+        assert records[0].n_trials > 0
+
+    def test_metrics_out_writes_openmetrics(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code, *_ = self.traced_run(
+            tmp_path, capsys, extra=["--metrics-out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_trials_done" in text
+
+    def test_metrics_out_without_trace(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        assert main(self.BASE + ["--metrics-out", str(out)]) == 0
+        assert out.read_text().endswith("# EOF\n")
+
+    def test_bad_status_interval_rejected(self, capsys):
+        assert main(self.BASE + ["--status-interval", "0"]) == 2
+        assert "status-interval" in capsys.readouterr().err
+
+    def test_top_once_renders_board(self, tmp_path, capsys):
+        _, traces, _, _ = self.traced_run(tmp_path, capsys)
+        assert main(["top", "--once", traces]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — figure5" in out
+        assert "[finished]" in out
+
+    def test_top_follow_and_once_conflict(self, capsys):
+        assert main(["top", "--follow", "--once", "x"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_top_on_untraced_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["top", "--once", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--trace" in err
+
+    def test_runs_list_show_diff(self, tmp_path, capsys):
+        _, _, registry, _ = self.traced_run(tmp_path, capsys)
+        self.traced_run(tmp_path, capsys)  # second run, same registry
+        assert main(["runs", "list", "--registry", registry]) == 0
+        out = capsys.readouterr().out
+        assert out.count("figure5") == 2
+        assert main(["runs", "show", "last", "--registry", registry]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out and "records digest" in out
+        # Same config twice: fingerprints and digests must agree; a
+        # huge gate ignores wall-clock noise between the two runs.
+        code = main(["runs", "diff", "last~1", "last",
+                     "--registry", registry, "--gate", "100000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fingerprint      identical" in out
+        assert "records digest   identical" in out
+
+    def test_runs_diff_gate_failure_exits_nonzero(self, tmp_path, capsys):
+        from repro.obs.registry import RunRecord, RunRegistry
+
+        registry = RunRegistry(str(tmp_path / "reg"))
+        registry.append(RunRecord(
+            run_id="run-base", experiment="figure5", fingerprint="f" * 32,
+            wall_seconds=10.0, n_trials=100,
+            phase_seconds={"schedule": 6.0},
+        ))
+        registry.append(RunRecord(
+            run_id="run-slow", experiment="figure5", fingerprint="f" * 32,
+            wall_seconds=20.0, n_trials=100,
+            phase_seconds={"schedule": 12.0},
+        ))
+        code = main(["runs", "diff", "run-base", "run-slow",
+                     "--registry", registry.directory, "--gate", "10"])
+        assert code == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_runs_on_empty_registry_fails_cleanly(self, tmp_path, capsys):
+        assert main(["runs", "show", "last",
+                     "--registry", str(tmp_path / "nothing")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_hardened_against_bad_inputs(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["report", str(empty)]) == 2
+        assert "--trace" in capsys.readouterr().err
+        assert main(["report", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+        binary = tmp_path / "garbage.events.jsonl"
+        binary.write_bytes(b"\x80\x81\x82\xff")
+        assert main(["report", str(binary)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_and_trace_accept_directory(self, tmp_path, capsys):
+        _, traces, _, _ = self.traced_run(tmp_path, capsys)
+        assert main(["report", traces]) == 0
+        assert "run report: figure5" in capsys.readouterr().out
+        assert main(["trace", traces]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_live_flags_parsed(self):
+        args = build_parser().parse_args([
+            "run", "figure5", "--trace", "t/", "--metrics-out", "m.prom",
+            "--registry", "r/", "--status-interval", "0.5",
+        ])
+        assert args.metrics_out == "m.prom"
+        assert args.registry == "r/"
+        assert args.status_interval == 0.5
+        top = build_parser().parse_args(["top", "--follow", "t/"])
+        assert top.follow is True
+        diff = build_parser().parse_args(
+            ["runs", "diff", "a", "b", "--gate", "25"]
+        )
+        assert diff.gate == 25.0

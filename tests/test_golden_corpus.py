@@ -237,6 +237,42 @@ def test_traced_experiment_records_bit_identical(jobs):
     assert inst.telemetry.metrics.counters
 
 
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_live_sampled_experiment_records_bit_identical(jobs, tmp_path):
+    """Live telemetry samples, it never participates: a run with the
+    status stream active, the sampler thread ticking fast, and the
+    OpenMetrics exporter rewriting a textfile must still reproduce the
+    frozen records exactly."""
+    from repro.feast.instrumentation import Instrumentation
+    from repro.obs import (
+        StatusSampler,
+        StatusStream,
+        Telemetry,
+        activate_status,
+        read_status,
+    )
+
+    golden = _load_golden()["experiment_records"]
+    inst = Instrumentation(telemetry=Telemetry())
+    stream = StatusStream(
+        str(tmp_path / "run.status.jsonl"), "golden", "run-golden"
+    )
+    sampler = StatusSampler(
+        stream, inst, interval=0.01,
+        metrics_out=str(tmp_path / "metrics.prom"),
+    )
+    with activate_status(stream), sampler:
+        result = run_experiment(_experiment_config(), jobs=jobs,
+                                instrumentation=inst)
+    stream.close()
+    fresh = [json.loads(json.dumps(r.as_dict())) for r in result.records]
+    assert fresh == golden
+    # The observers actually observed.
+    kinds = {e["kind"] for e in read_status(stream.path)}
+    assert "status" in kinds and "progress" in kinds
+    assert (tmp_path / "metrics.prom").read_text().endswith("# EOF\n")
+
+
 def test_interrupted_checkpoint_resume_bit_identical(tmp_path):
     """A sweep interrupted mid-run and resumed from its checkpoint must
     reproduce the frozen records exactly — including the chunks that were

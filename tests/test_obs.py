@@ -461,3 +461,103 @@ class TestInstrumentationCallbacks:
         inst._wall_elapsed = 2.0
         assert inst.parallel_efficiency(4) == pytest.approx(0.5)
         assert Instrumentation().parallel_efficiency(4) is None
+
+
+class TestObservationDomain:
+    """The pinned contract of Histogram.observe for edge-case values."""
+
+    def test_nan_rejected(self):
+        hist = Histogram(buckets=(1.0,))
+        with pytest.raises(ExperimentError, match="finite"):
+            hist.observe(float("nan"))
+        assert hist.n == 0  # rejection leaves the histogram untouched
+
+    def test_infinities_rejected(self):
+        hist = Histogram(buckets=(1.0,))
+        with pytest.raises(ExperimentError, match="finite"):
+            hist.observe(float("inf"))
+        with pytest.raises(ExperimentError, match="finite"):
+            hist.observe(float("-inf"))
+        assert hist.n == 0
+
+    def test_registry_observe_propagates_rejection(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ExperimentError, match="finite"):
+            registry.observe("phase.x.seconds", float("nan"))
+        assert not registry.histograms
+
+    def test_negative_lands_in_lowest_bucket(self):
+        # Documented behavior: negatives are legal (clock skew can
+        # produce them) and count toward the first bucket.
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(-3.0)
+        assert hist.counts == [1, 0, 0]
+        assert hist.min == -3.0
+        assert hist.total == pytest.approx(-3.0)
+
+    def test_zero_is_fine(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.0)
+        assert hist.counts == [1, 0]
+
+
+class TestSupervisionRoundTrip:
+    """supervision.* counters survive JSONL -> Chrome trace -> report."""
+
+    COUNTERS = {
+        "supervision.stalls_detected": 1,
+        "supervision.kills_escalated": 1,
+        "supervision.relaunches": 2,
+        "supervision.shards_failed_over": 1,
+        "supervision.chunks_reassigned": 3,
+        "supervision.chunks_replayed": 3,
+    }
+
+    def supervised_session(self):
+        session = Telemetry()
+        with session.spans.span("run"):
+            pass
+        for name, value in self.COUNTERS.items():
+            session.metrics.count(name, value)
+        return session
+
+    def test_counters_survive_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, self.supervised_session(), "t")
+        events = read_events(path)
+        metrics = next(e for e in events if e["kind"] == "metrics")
+        for name, value in self.COUNTERS.items():
+            assert metrics["counters"][name] == value
+
+    def test_counters_become_chrome_counter_tracks(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, self.supervised_session(), "t")
+        trace = chrome_trace(read_events(path))
+        counters = [
+            e for e in trace["traceEvents"] if e["ph"] == "C"
+        ]
+        tracked = {e["name"]: e["args"] for e in counters}
+        for name, value in self.COUNTERS.items():
+            assert name in tracked, f"{name} missing from counter tracks"
+            assert list(tracked[name].values()) == [value]
+
+    def test_report_fault_tolerance_section(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, self.supervised_session(), "t")
+        text = render_run_report(read_events(path))
+        assert "supervision (fault tolerance):" in text
+        assert "worker relaunches" in text
+        assert "SIGTERM ignored, escalated to SIGKILL" in text
+        assert "chunks replayed from journals" in text
+        assert "shards failed over to survivors" in text
+
+    def test_clean_run_has_no_section(self, tmp_path):
+        session = Telemetry()
+        with session.spans.span("run"):
+            pass
+        session.metrics.count("supervision.relaunches", 0)
+        path = str(tmp_path / "events.jsonl")
+        write_events(path, session, "t")
+        text = render_run_report(read_events(path))
+        # zero-valued counters must not fabricate an incidents section
+        assert "supervision (fault tolerance)" not in text

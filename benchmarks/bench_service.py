@@ -1,0 +1,226 @@
+"""Load-generate the ``repro.serve`` job service and report latency.
+
+The service satellite of the batch pipeline promises two things a batch
+caller never has to think about: *throughput* (the HTTP layer and the
+SQLite control plane must not become the bottleneck in front of the
+solver fleet) and *latency* (submit → result must be dominated by the
+actual experiment work, not by queueing or polling overhead). This
+benchmark boots a :class:`~repro.serve.app.ServiceHandle` in-process on
+an ephemeral port, drives it with ``--clients`` concurrent threads each
+submitting ``--jobs`` copies of the documented reference workload, and
+reports requests/sec plus p50/p99 submit→result latency.
+
+Reference workload (pinned so rows are comparable across runs): one
+MDET scenario over 6–8-subtask graphs, two system sizes, a single PURE
+method — small enough that the service overhead is a visible fraction
+of the row, large enough to exercise the full journal + result path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick    # CI
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --quick --json bench-service.json                        # artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.app import ServiceConfig, ServiceHandle
+from repro.serve.jobs import JobState
+
+SEED = 20260807
+
+#: The documented reference workload: near-instant trials so the row
+#: measures service overhead + scheduling, not solver wall-clock.
+REFERENCE_GRAPHS = {
+    "n_subtasks_range": [6, 8],
+    "depth_range": [2, 3],
+    "degree_range": [1, 2],
+}
+
+
+def reference_job(name: str, seed: int) -> Dict[str, Any]:
+    return {
+        "format": "repro-job",
+        "version": 1,
+        "name": name,
+        "workload": {
+            "n_graphs": 2,
+            "scenarios": ["MDET"],
+            "seed": seed,
+            "graph_config": dict(REFERENCE_GRAPHS),
+        },
+        "platform": {"system_sizes": [2, 3]},
+        "methods": [{"label": "PURE", "metric": "PURE", "comm": "CCNE"}],
+    }
+
+
+# -- minimal blocking client (mirrors tests/serve_client.py, but the
+# benchmark must not import from tests/) ------------------------------
+def _request_json(
+    port: int, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+) -> Tuple[int, Dict[str, Any]]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else {}
+    finally:
+        conn.close()
+
+
+def _run_one_job(port: int, document: Dict[str, Any]) -> float:
+    """Submit → poll → fetch result; returns submit→result seconds."""
+    started = time.perf_counter()
+    status, body = _request_json(port, "POST", "/v1/jobs", document)
+    if status != 202:
+        raise RuntimeError(f"submit failed: {status} {body}")
+    job_id = body["id"]
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        status, job = _request_json(port, "GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise RuntimeError(f"poll failed: {status} {job}")
+        if job["state"] in JobState.TERMINAL:
+            break
+        time.sleep(0.005)
+    else:
+        raise RuntimeError(f"job {job_id} never reached a terminal state")
+    if job["state"] != JobState.DONE:
+        raise RuntimeError(f"job {job_id} finished {job['state']}: {job}")
+    status, result = _request_json(port, "GET", f"/v1/jobs/{job_id}/result")
+    if status != 200 or not result.get("records"):
+        raise RuntimeError(f"result fetch failed: {status}")
+    return time.perf_counter() - started
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile on an already-sorted sample."""
+    if not sorted_values:
+        return float("nan")
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def run_bench(clients: int, jobs_per_client: int, workers: int) -> Dict[str, Any]:
+    data_dir = tempfile.mkdtemp(prefix="bench-serve-")
+    latencies: List[float] = []
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        for j in range(jobs_per_client):
+            document = reference_job(
+                f"bench-{index}-{j}", SEED + index * jobs_per_client + j
+            )
+            try:
+                seconds = _run_one_job(handle.port, document)
+            except Exception as exc:
+                with lock:
+                    errors.append(f"client {index} job {j}: {exc!r}")
+                return
+            with lock:
+                latencies.append(seconds)
+
+    config = ServiceConfig(data_dir=data_dir, workers=workers)
+    try:
+        with ServiceHandle(config) as handle:
+            wall_start = time.perf_counter()
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+    if errors:
+        raise RuntimeError("bench clients failed:\n" + "\n".join(errors))
+
+    latencies.sort()
+    total_jobs = clients * jobs_per_client
+    return {
+        "clients": clients,
+        "jobs_per_client": jobs_per_client,
+        "workers": workers,
+        "jobs": total_jobs,
+        "wall_seconds": wall,
+        "jobs_per_second": total_jobs / wall if wall else float("nan"),
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p99_seconds": _percentile(latencies, 0.99),
+        "max_seconds": latencies[-1],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent client threads (default 4; 2 with --quick)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="jobs per client (default 8; 3 with --quick)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker count (default 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: fewer clients and jobs")
+    parser.add_argument("--json", metavar="OUT", default=None,
+                        help="write the summary row as JSON to OUT")
+    parser.add_argument("--max-p99-seconds", type=float, default=None,
+                        help="exit non-zero if p99 submit→result exceeds this")
+    args = parser.parse_args(argv)
+
+    clients = args.clients if args.clients is not None else (2 if args.quick else 4)
+    jobs = args.jobs if args.jobs is not None else (3 if args.quick else 8)
+
+    row = run_bench(clients=clients, jobs_per_client=jobs, workers=args.workers)
+
+    print(
+        f"serve load: {row['jobs']} jobs, {clients} clients, "
+        f"{args.workers} workers"
+    )
+    print(
+        f"  throughput {row['jobs_per_second']:.2f} jobs/s over "
+        f"{row['wall_seconds']:.2f}s wall"
+    )
+    print(
+        f"  submit→result latency p50 {row['p50_seconds'] * 1000:.1f} ms, "
+        f"p99 {row['p99_seconds'] * 1000:.1f} ms, "
+        f"max {row['max_seconds'] * 1000:.1f} ms"
+    )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.max_p99_seconds is not None and row["p99_seconds"] > args.max_p99_seconds:
+        print(
+            f"FAIL: p99 {row['p99_seconds']:.3f}s exceeds gate "
+            f"{args.max_p99_seconds:.3f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -410,6 +410,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress output"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the deadline-assignment job service (HTTP, durable queue)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8348,
+        help="listen port; 0 binds an ephemeral port, announced on stderr",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job executions (default: 2)",
+    )
+    serve.add_argument(
+        "--backend", default="serial",
+        help="execution backend per job: serial, pool, subprocess "
+        "(default: serial)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="shard count for the subprocess backend",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded job queue depth; full queue → 503 (default: 64)",
+    )
+    serve.add_argument(
+        "--data-dir", default="repro-serve-data",
+        help="durable state: job store, checkpoint journals, results",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=2 * 1024 * 1024,
+        help="largest accepted request body (default: 2 MiB)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request read deadline in seconds (default: 30)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="PER_SECOND",
+        help="token-bucket submission rate limit per client (default: off)",
+    )
+    serve.add_argument(
+        "--auth", default="none", help="auth backend: none or token"
+    )
+    serve.add_argument(
+        "--auth-token", default=None,
+        help="bearer token for --auth token (or REPRO_SERVE_TOKEN)",
+    )
+
     demo = sub.add_parser(
         "demo", help="distribute and schedule one random graph, verbosely"
     )
@@ -1142,6 +1192,33 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.app import ServiceConfig, run_service
+
+    token = args.auth_token or os.environ.get("REPRO_SERVE_TOKEN")
+    if args.auth == "token" and not token:
+        print(
+            "error: --auth token needs --auth-token or REPRO_SERVE_TOKEN",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        shards=args.shards,
+        queue_size=args.queue_size,
+        data_dir=args.data_dir,
+        max_body=args.max_body_bytes,
+        request_timeout=args.request_timeout,
+        auth=args.auth,
+        auth_token=token,
+        rate_limit=args.rate_limit,
+    )
+    return run_service(config)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -1178,6 +1255,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_top(args)
     if args.command == "runs":
         return cmd_runs(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -102,10 +102,23 @@ def graph_for_trial(
     single :class:`TaskGraph` — one call produces exactly one graph, so
     the record count always matches ``config.n_trials`` and progress can
     never exceed 100 %.
+
+    A factory with a truthy ``needs_trial_coords`` attribute is called
+    as ``factory(graph_config, rng, scenario=..., index=...)`` — the
+    protocol for workloads that *select* a fixed graph per trial rather
+    than generating one from the RNG.
     """
     rng = random.Random(trial_seed(config.seed, scenario, index))
     if config.graph_factory is not None:
-        graph = config.graph_factory(graph_config, rng)
+        if getattr(config.graph_factory, "needs_trial_coords", False):
+            # Index-aware factories (e.g. explicit workloads submitted
+            # to repro.serve) select the graph by trial coordinates
+            # instead of consuming the RNG.
+            graph = config.graph_factory(
+                graph_config, rng, scenario=scenario, index=index
+            )
+        else:
+            graph = config.graph_factory(graph_config, rng)
         if not isinstance(graph, TaskGraph):
             raise ExperimentError(
                 f"graph_factory must return one TaskGraph per call, got "

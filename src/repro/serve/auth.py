@@ -1,0 +1,76 @@
+"""Authentication hook: a pluggable gate in front of the job API.
+
+The service ships two backends — ``none`` (open, the default: the
+reference deployment is a lab-internal tool) and ``token`` (a single
+static bearer token) — behind a registry, so a deployment can add its
+own (mTLS header introspection, an org SSO sidecar, ...) without
+touching the routing layer. An auth backend is one callable: it sees
+the request and returns ``None`` to admit it or an
+:class:`~repro.serve.http.HttpError` to reject it; raising is treated
+as a 500-class server bug, so backends should *return* their errors.
+
+``/v1/healthz`` and ``/v1/metrics`` are deliberately outside the gate:
+probes and scrapers must keep working when credentials rot.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Callable, Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.serve.http import HttpError, Request
+
+#: An auth backend: request -> None (admit) | HttpError (reject).
+AuthHook = Callable[[Request], Optional[HttpError]]
+
+
+def allow_all(request: Request) -> Optional[HttpError]:
+    """The ``none`` backend: every request is admitted."""
+    return None
+
+
+class TokenAuth:
+    """The ``token`` backend: one static bearer token.
+
+    Comparison is constant-time (:func:`hmac.compare_digest`) — a
+    timing oracle on a long-running service is exactly the kind of slow
+    leak a test harness never catches.
+    """
+
+    def __init__(self, token: str) -> None:
+        if not token:
+            raise ExperimentError("token auth needs a non-empty token")
+        self._token = token
+
+    def __call__(self, request: Request) -> Optional[HttpError]:
+        header = request.header("authorization")
+        scheme, _, value = header.partition(" ")
+        if scheme.lower() != "bearer" or not hmac.compare_digest(
+            value.strip(), self._token
+        ):
+            return HttpError(
+                401,
+                "missing or invalid bearer token",
+                headers={"www-authenticate": 'Bearer realm="repro-serve"'},
+            )
+        return None
+
+
+#: Factories keyed by backend name; each takes the configured token
+#: (possibly None) and returns an :data:`AuthHook`.
+AUTH_BACKENDS: Dict[str, Callable[[Optional[str]], AuthHook]] = {
+    "none": lambda token: allow_all,
+    "token": lambda token: TokenAuth(token or ""),
+}
+
+
+def make_auth(name: str, token: Optional[str] = None) -> AuthHook:
+    """Resolve an auth backend by registry name."""
+    try:
+        factory = AUTH_BACKENDS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown auth backend {name!r}; expected one of {sorted(AUTH_BACKENDS)}"
+        )
+    return factory(token)

@@ -1,0 +1,190 @@
+"""Job documents, the job state machine, and the document compiler.
+
+A *job document* is the service's wire format: one JSON object naming a
+workload (either explicit task graphs in the ``repro-taskgraph`` schema
+or parameters for the random generator), a platform sweep, and the
+deadline-assignment methods to compare. :func:`compile_job` lowers a
+validated document into an :class:`~repro.feast.config.ExperimentConfig`
+— the same object a direct :func:`~repro.feast.runner.run_experiment`
+call takes — which is what makes the byte-identity contract hold by
+construction: the service adds no execution semantics of its own.
+
+Determinism matters twice here: the same document must compile to the
+same config after a server restart (so the checkpoint journal's
+config fingerprint still matches and the job resumes instead of being
+rejected), and two different explicit workloads must *not* share a
+fingerprint. :class:`ExplicitWorkload` therefore carries a stable
+content-digest identity in ``__qualname__``, which is exactly the field
+:func:`~repro.feast.persistence.config_fingerprint` folds in for
+arbitrary factories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.feast.config import MethodSpec, ExperimentConfig
+from repro.graph.generator import RandomGraphConfig
+from repro.graph.serialization import graph_from_dict
+from repro.graph.taskgraph import TaskGraph
+
+#: Wire format / version pinned in every job document.
+JOB_FORMAT = "repro-job"
+JOB_VERSION = 1
+
+#: Scenario label explicit-graph jobs run under. Scenarios only vary the
+#: generator's execution-time deviation, which fixed graphs ignore, so
+#: one canonical label keeps records and chunk keys well-formed.
+EXPLICIT_SCENARIO = "MDET"
+
+#: Submission caps — bound memory per request, not expressiveness.
+MAX_GRAPHS = 256
+MAX_N_GRAPHS = 4096
+MAX_SYSTEM_SIZES = 64
+
+
+class JobState:
+    """The job lifecycle: ``queued → running → done|failed|cancelled``.
+
+    ``queued → cancelled`` is the only shortcut (cancel before a worker
+    picks the job up). Terminal states have no outgoing edges; the store
+    enforces transitions with compare-and-swap updates so a cancel
+    racing a worker claim resolves to exactly one winner.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED)
+    TRANSITIONS = {
+        QUEUED: (RUNNING, CANCELLED),
+        RUNNING: (DONE, FAILED, CANCELLED),
+        DONE: (),
+        FAILED: (),
+        CANCELLED: (),
+    }
+
+    #: Monotonic rank for "states never regress" assertions: every legal
+    #: transition strictly increases it.
+    ORDER = {QUEUED: 0, RUNNING: 1, DONE: 2, FAILED: 2, CANCELLED: 2}
+
+
+class JobCancelled(BaseException):
+    """Raised inside a worker to abort a run after a cooperative cancel.
+
+    Deliberately a ``BaseException``: progress callbacks that raise a
+    plain ``Exception`` are *detached* by
+    :meth:`~repro.feast.instrumentation.Instrumentation.completed`
+    (a broken observer must not kill a sweep), while ``BaseException``
+    propagates — the same contract that lets Ctrl-C abort a run. Every
+    chunk completed before the cancel is already journaled, because the
+    driver journals before it fires progress callbacks.
+    """
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id} cancelled")
+        self.job_id = job_id
+
+
+class ExplicitWorkload:
+    """Picklable graph factory serving user-supplied graph documents.
+
+    Graph ``index`` of the single scenario is
+    ``graph_from_dict(documents[index])`` — decoded fresh per call, so a
+    trial can never see another trial's annotations. The factory opts
+    into the index-aware calling convention via ``needs_trial_coords``
+    (see :func:`~repro.feast.runner.graph_for_trial`) and ignores the
+    RNG: explicit workloads are already fully determined.
+    """
+
+    needs_trial_coords = True
+
+    def __init__(self, documents: List[Dict[str, Any]]) -> None:
+        if not documents:
+            raise ExperimentError("ExplicitWorkload needs at least one graph")
+        self.documents = [dict(doc) for doc in documents]
+        blob = json.dumps(self.documents, sort_keys=True)
+        digest = hashlib.blake2b(blob.encode("utf-8"), digest_size=8).hexdigest()
+        # config_fingerprint() identifies a factory by __qualname__; a
+        # content digest there makes resume-after-restart accept the
+        # journal and distinct workloads fingerprint apart.
+        self.__qualname__ = f"repro.serve.jobs.ExplicitWorkload[{digest}]"
+
+    def __call__(
+        self,
+        graph_config: RandomGraphConfig,
+        rng,
+        scenario: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> TaskGraph:
+        if index is None:
+            raise ExperimentError(
+                "ExplicitWorkload requires the index-aware factory protocol"
+            )
+        return graph_from_dict(self.documents[index % len(self.documents)])
+
+    def __repr__(self) -> str:
+        return f"<{self.__qualname__} n={len(self.documents)}>"
+
+
+def _compile_methods(specs: List[Dict[str, Any]]) -> Tuple[MethodSpec, ...]:
+    return tuple(MethodSpec(**spec) for spec in specs)
+
+
+def compile_job(document: Dict[str, Any]) -> ExperimentConfig:
+    """Lower a validated job document into an :class:`ExperimentConfig`.
+
+    Pure and deterministic: the same document always yields a config
+    with the same :func:`~repro.feast.persistence.config_fingerprint`,
+    which is the property restart-resume rests on. Raises
+    :class:`ExperimentError` (or another :class:`~repro.errors.ReproError`)
+    on semantic violations — callers at the HTTP edge map those to
+    structured 400s.
+    """
+    name = document.get("name") or "job"
+    platform = document.get("platform") or {}
+    methods = _compile_methods(document["methods"])
+
+    common = dict(
+        name=name,
+        description="repro.serve job",
+        methods=methods,
+        system_sizes=tuple(platform.get("system_sizes") or (2, 4)),
+        topology=platform.get("topology", "bus"),
+        policy=platform.get("policy", "EDF"),
+        respect_release_times=bool(platform.get("respect_release_times", False)),
+        speed_profile=platform.get("speed_profile", "uniform"),
+    )
+
+    graphs = document.get("graphs")
+    if graphs is not None:
+        return ExperimentConfig(
+            graph_config=RandomGraphConfig(),
+            scenarios=(EXPLICIT_SCENARIO,),
+            n_graphs=len(graphs),
+            # The seed feeds the generator RNG, which explicit workloads
+            # ignore; pinning it keeps the fingerprint canonical.
+            seed=2026,
+            graph_factory=ExplicitWorkload(graphs),
+            **common,
+        )
+
+    workload = document["workload"]
+    graph_config = RandomGraphConfig(**{
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in (workload.get("graph_config") or {}).items()
+    })
+    return ExperimentConfig(
+        graph_config=graph_config,
+        scenarios=tuple(workload.get("scenarios") or ("LDET", "MDET", "HDET")),
+        n_graphs=int(workload.get("n_graphs", 8)),
+        seed=int(workload.get("seed", 2026)),
+        **common,
+    )

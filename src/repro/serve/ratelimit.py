@@ -1,0 +1,69 @@
+"""Token-bucket rate limiting for the submission endpoint.
+
+Submissions are the one endpoint where a misbehaving client can do real
+damage (each accepted document becomes durable state and queued work),
+so the limiter sits there and only there. Classic token bucket: a
+client may burst up to ``burst`` submissions, then is throttled to
+``rate`` per second; rejections are 429s carrying ``Retry-After``.
+
+Buckets are per-client (peer address) with an LRU-ish cap so an
+address-rotating client can't grow memory without bound; the clock is
+``time.monotonic`` so a wall-clock step never mints or burns tokens.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.errors import ExperimentError
+
+#: Most client buckets kept before the least recently seen is evicted.
+MAX_BUCKETS = 4096
+
+
+class TokenBucket:
+    """One client's bucket: ``rate`` tokens/second, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Try to take one token; returns (granted, seconds-until-next)."""
+        self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets behind one lock (see module docstring)."""
+
+    def __init__(self, rate: float, burst: Optional[float] = None) -> None:
+        if rate <= 0:
+            raise ExperimentError(f"rate limit must be > 0 requests/second, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate * 2)
+        if self.burst < 1:
+            raise ExperimentError(f"burst must allow at least one request, got {self.burst}")
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    def allow(self, client: str) -> Tuple[bool, float]:
+        """Admit or throttle ``client``; returns (granted, retry-after)."""
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket  # re-insert: most recently seen
+            while len(self._buckets) > MAX_BUCKETS:
+                self._buckets.popitem(last=False)
+            return bucket.take(now)

@@ -138,3 +138,92 @@ def raw_dags(draw) -> TaskGraph:
     for node_id in g.output_subtasks():
         g.node(node_id).end_to_end_deadline = deadline
     return g
+
+
+#: Method specs the service property tests draw from (distinct labels).
+JOB_METHOD_POOL = (
+    {"label": "NORM", "metric": "NORM", "comm": "CCNE"},
+    {"label": "PURE", "metric": "PURE", "comm": "CCNE"},
+    {"label": "PURE/AA", "metric": "PURE", "comm": "CCAA"},
+    {"label": "THRES", "metric": "THRES", "comm": "CCNE", "threshold_factor": 1.5},
+    {"label": "EQS", "metric": "PURE", "comm": "CCNE", "baseline": "EQS"},
+)
+
+
+@st.composite
+def job_documents(draw) -> dict:
+    """A valid ``repro-job`` service document (see repro.serve.jobs).
+
+    Spans both workload modes — generator parameters (including the
+    OLR < 1 over-constrained and CCR = 0 communication-free degenerate
+    regimes) and explicit inline ``repro-taskgraph`` documents — plus a
+    drawn platform sweep and method set, while staying small enough
+    that a server round trip is fast. The document is what goes over
+    the wire; the matching oracle is ``compile_job`` + a direct
+    in-process run.
+    """
+    from repro.graph.serialization import graph_to_dict
+
+    n_methods = draw(st.integers(min_value=1, max_value=3))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(JOB_METHOD_POOL) - 1),
+            min_size=n_methods, max_size=n_methods, unique=True,
+        )
+    )
+    methods = [dict(JOB_METHOD_POOL[i]) for i in indices]
+    platform = {
+        "system_sizes": draw(
+            st.lists(st.integers(2, 6), min_size=1, max_size=2, unique=True)
+        ),
+        "topology": draw(st.sampled_from(["bus", "ring", "fully-connected"])),
+        "policy": draw(st.sampled_from(["EDF", "LLF"])),
+        "speed_profile": draw(st.sampled_from(["uniform", "mixed"])),
+    }
+    document = {
+        "format": "repro-job",
+        "version": 1,
+        "name": draw(st.sampled_from(["prop", "roundtrip", "svc"])),
+        "platform": platform,
+        "methods": methods,
+    }
+    if draw(st.booleans()):
+        # generated workload, degenerate regimes included
+        document["workload"] = {
+            "n_graphs": draw(st.integers(min_value=1, max_value=3)),
+            "scenarios": draw(
+                st.lists(
+                    st.sampled_from(["LDET", "MDET", "HDET"]),
+                    min_size=1, max_size=2, unique=True,
+                )
+            ),
+            "seed": draw(st.integers(0, 10_000)),
+            "graph_config": {
+                "n_subtasks_range": [5, 9],
+                "depth_range": [2, 3],
+                "degree_range": [1, 2],
+                "overall_laxity_ratio": draw(
+                    st.sampled_from([0.5, 0.9, 1.5, 3.0])
+                ),
+                "communication_to_computation_ratio": draw(
+                    st.sampled_from([0.0, 0.5, 2.0])
+                ),
+                "olr_basis": draw(
+                    st.sampled_from(["graph-workload", "path-workload"])
+                ),
+            },
+        }
+    else:
+        config = RandomGraphConfig(
+            n_subtasks_range=(5, 9),
+            depth_range=(2, 3),
+            degree_range=(1, 2),
+            overall_laxity_ratio=draw(st.sampled_from([0.5, 1.5])),
+            communication_to_computation_ratio=draw(st.sampled_from([0.0, 1.0])),
+        )
+        seed = draw(st.integers(0, 10_000))
+        document["graphs"] = [
+            graph_to_dict(generate_task_graph(config, rng=random.Random(seed + i)))
+            for i in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+    return document

@@ -1,0 +1,152 @@
+"""Concurrency and graceful-shutdown behavior of the service.
+
+Two failure families a single-client lifecycle test can't see:
+
+* **interleaving** — N clients with overlapping jobs must each get
+  exactly their own records (worker pools sharing one process make
+  cross-contamination the default failure mode, not an exotic one),
+  and every observer must see job states move monotonically forward;
+* **shutdown** — SIGTERM must drain: the in-flight job finishes and
+  persists, queued jobs stay queued, and a restarted server picks them
+  up and completes them. Progress must never be lost to a *polite*
+  shutdown (the SIGKILL case lives in test_serve.py).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve.app import ServiceConfig, ServiceHandle
+from repro.serve.jobs import JobState
+from tests.serve_client import (
+    ServerProcess,
+    direct_records,
+    fetch_records,
+    poll_job,
+    request_json,
+    slow_job,
+    submit,
+    tiny_job,
+    wait_for,
+    wait_terminal,
+)
+
+
+class TestConcurrentClients:
+    def test_overlapping_jobs_isolated_and_monotonic(self, tmp_path):
+        """Six clients, four workers: every client gets its own job's
+        records, and no poller ever sees a state move backwards."""
+        config = ServiceConfig(data_dir=str(tmp_path / "data"), workers=4)
+        documents = [
+            tiny_job(name=f"client-{i}", seed=100 + i, n_graphs=2, sizes=(2, 3))
+            for i in range(6)
+        ]
+        outcomes = [None] * len(documents)
+
+        def client(i: int) -> None:
+            try:
+                job_id = submit(handle.port, documents[i])
+                states = []
+                deadline = time.monotonic() + 120
+                while time.monotonic() < deadline:
+                    state = poll_job(handle.port, job_id)["state"]
+                    if not states or states[-1] != state:
+                        states.append(state)
+                    if state in JobState.TERMINAL:
+                        break
+                    time.sleep(0.01)
+                records = fetch_records(handle.port, job_id)
+                outcomes[i] = {"states": states, "records": records}
+            except BaseException as exc:  # surfaced by the main thread
+                outcomes[i] = {"error": repr(exc)}
+
+        with ServiceHandle(config) as handle:
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(len(documents))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+        for i, outcome in enumerate(outcomes):
+            assert outcome is not None, f"client {i} never finished"
+            assert "error" not in outcome, (i, outcome)
+            assert outcome["states"][-1] == JobState.DONE, (i, outcome["states"])
+            ranks = [JobState.ORDER[state] for state in outcome["states"]]
+            assert ranks == sorted(ranks), (i, outcome["states"])
+            assert outcome["records"] == direct_records(documents[i]), i
+
+    def test_full_queue_is_503_with_retry_after(self, tmp_path):
+        config = ServiceConfig(
+            data_dir=str(tmp_path / "data"), workers=1, queue_size=2
+        )
+        with ServiceHandle(config) as handle:
+            running = submit(handle.port, slow_job(name="hog", seed=61))
+            wait_for(
+                lambda: poll_job(handle.port, running)["state"] == JobState.RUNNING,
+                message="the hog job to start",
+            )
+            queued = [
+                submit(handle.port, tiny_job(name=f"q{i}", seed=70 + i))
+                for i in range(2)
+            ]
+            status, body = request_json(
+                handle.port, "POST", "/v1/jobs", tiny_job(name="overflow", seed=80)
+            )
+            assert status == 503
+            assert body["error"]["status"] == 503
+
+            # rejected submissions leave no orphan rows behind
+            status, listing = request_json(handle.port, "GET", "/v1/jobs")
+            names = [job["name"] for job in listing["jobs"]]
+            assert "overflow" not in names
+
+            for job_id in [running] + queued:
+                request_json(handle.port, "DELETE", f"/v1/jobs/{job_id}")
+            for job_id in [running] + queued:
+                wait_terminal(handle.port, job_id)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_running_persists_queued(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        running_doc = slow_job(name="draining", seed=67)
+        queued_docs = [tiny_job(name=f"parked-{i}", seed=90 + i) for i in range(2)]
+
+        with ServerProcess(data_dir, "--workers", "1") as first:
+            running_id = submit(first.port, running_doc)
+            wait_for(
+                lambda: poll_job(first.port, running_id)
+                .get("progress", {})
+                .get("done", 0)
+                > 0,
+                message="the draining job to make progress",
+            )
+            queued_ids = [submit(first.port, doc) for doc in queued_docs]
+            for job_id in queued_ids:
+                assert poll_job(first.port, job_id)["state"] == JobState.QUEUED
+
+            exit_code = first.sigterm(timeout=120)
+            assert exit_code == 0, "".join(first.stderr_lines)
+
+        # The drained server finished its in-flight job and wrote the
+        # result; the queued jobs were persisted untouched. A restart
+        # proves both by serving the former and completing the latter.
+        with ServerProcess(data_dir, "--workers", "1") as second:
+            final = poll_job(second.port, running_id)
+            assert final["state"] == JobState.DONE
+            assert final["attempts"] == 1  # finished by generation one
+            records = fetch_records(second.port, running_id)
+            assert json.dumps(records, sort_keys=True) == json.dumps(
+                direct_records(running_doc), sort_keys=True
+            )
+
+            for job_id, document in zip(queued_ids, queued_docs):
+                assert wait_terminal(second.port, job_id)["state"] == JobState.DONE
+                assert fetch_records(second.port, job_id) == direct_records(document)

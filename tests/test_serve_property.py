@@ -1,0 +1,49 @@
+"""Property test: document → server → result ≡ the in-process pipeline.
+
+One server, many drawn documents: whatever valid job document hypothesis
+produces — generated workloads across the paper's scenario space
+(including OLR < 1 over-constrained and CCR = 0 communication-free
+degenerates) or explicit inline graphs — the records that come back
+over HTTP must equal, byte for byte when serialized, what
+``run_experiment(compile_job(document))`` produces in this process.
+That closes the loop the example-based lifecycle tests open: the
+byte-identity contract holds over the *space* of documents, not a
+handful of fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.serve.app import ServiceConfig, ServiceHandle
+from repro.serve.jobs import JobState
+from tests.serve_client import direct_records, fetch_records, submit, wait_terminal
+from tests.strategies import job_documents
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServiceConfig(
+        data_dir=str(tmp_path_factory.mktemp("serve-property")), workers=2
+    )
+    with ServiceHandle(config) as handle:
+        yield handle
+
+
+@given(document=job_documents())
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+def test_document_roundtrip_matches_in_process_pipeline(server, document):
+    job_id = submit(server.port, document)
+    final = wait_terminal(server.port, job_id)
+    assert final["state"] == JobState.DONE, final
+
+    served = fetch_records(server.port, job_id)
+    direct = direct_records(document)
+    assert json.dumps(served, sort_keys=True) == json.dumps(direct, sort_keys=True)
